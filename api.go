@@ -1,0 +1,249 @@
+package rlsched
+
+import (
+	"fmt"
+	"io"
+
+	"rlsched/internal/config"
+	"rlsched/internal/core"
+	"rlsched/internal/experiments"
+	"rlsched/internal/platform"
+	"rlsched/internal/report"
+	"rlsched/internal/rng"
+	"rlsched/internal/sched"
+	"rlsched/internal/trace"
+	"rlsched/internal/workload"
+)
+
+// Core experiment types. These are aliases into the implementation so the
+// full method sets remain available through the public API.
+type (
+	// Profile bundles every knob of an experiment campaign: platform
+	// generation, workload scaling, engine parameters, replication count
+	// and base seed.
+	Profile = experiments.Profile
+	// RunSpec selects a single simulation point: policy, task count,
+	// optional heterogeneity override and seed.
+	RunSpec = experiments.RunSpec
+	// Result is the summary of one simulation run (response time, energy,
+	// success rate, utilisation series, per-task records).
+	Result = sched.Result
+	// PolicyName names one of the scheduling policies.
+	PolicyName = experiments.PolicyName
+	// Figure is a reproduced evaluation figure (labelled series).
+	Figure = experiments.Figure
+	// Series is one labelled line of a figure.
+	Series = experiments.Series
+	// Policy is the scheduling-decision interface; implement it to plug a
+	// custom policy into the engine.
+	Policy = sched.Policy
+
+	// EngineConfig holds scheduling-framework parameters (merge-buffer
+	// timeouts, decision interval, split/dispatch switches, tracing).
+	EngineConfig = sched.Config
+	// PlatformConfig parameterises random platform generation (§V.A
+	// ranges, power levels, heterogeneity control).
+	PlatformConfig = platform.GenConfig
+	// Platform is a generated target system.
+	Platform = platform.Platform
+	// WorkloadConfig parameterises the synthetic task generator (§III.A).
+	WorkloadConfig = workload.GenConfig
+	// Task is a single unit of arrival, T_i = {s_i, d_i}.
+	Task = workload.Task
+	// PriorityMix sets the probability of each task-priority class.
+	PriorityMix = workload.PriorityMix
+	// Engine wires a platform, workload and policy into one run.
+	Engine = sched.Engine
+	// Stream is the deterministic random number generator feeding every
+	// stochastic component.
+	Stream = rng.Stream
+	// ConfigFile is the JSON schema wrapping a Profile on disk.
+	ConfigFile = config.File
+)
+
+// The policies compared in the paper's Experiment 1, plus the non-learning
+// greedy reference.
+const (
+	AdaptiveRL = experiments.AdaptiveRL
+	OnlineRL   = experiments.OnlineRL
+	QPlus      = experiments.QPlus
+	Predictive = experiments.Predictive
+	Greedy     = experiments.Greedy
+)
+
+// AllPolicies lists the Experiment-1 comparison set in the paper's order.
+func AllPolicies() []PolicyName {
+	return append([]PolicyName(nil), experiments.AllPolicies...)
+}
+
+// DefaultProfile returns the tuned profile used to regenerate every
+// figure; see EXPERIMENTS.md for how its scaling relates to §V.A.
+func DefaultProfile() Profile { return experiments.DefaultProfile() }
+
+// Run executes one simulation point under the profile.
+func Run(p Profile, spec RunSpec) (Result, error) { return experiments.Run(p, spec) }
+
+// NewPolicy constructs a fresh policy instance by name.
+func NewPolicy(name PolicyName) (Policy, error) { return experiments.NewPolicy(name) }
+
+// NewStream returns a deterministic random stream for seed; derive
+// independent child streams with Split.
+func NewStream(seed uint64, name string) *Stream { return rng.NewStream(seed, name) }
+
+// GeneratePlatform builds a random platform from the configuration.
+func GeneratePlatform(cfg PlatformConfig, r *Stream) (*Platform, error) {
+	return platform.Generate(cfg, r)
+}
+
+// DefaultPlatformConfig returns the §V.A platform ranges.
+func DefaultPlatformConfig() PlatformConfig { return platform.DefaultGenConfig() }
+
+// GenerateWorkload produces a task stream from the configuration.
+func GenerateWorkload(cfg WorkloadConfig, r *Stream) ([]*Task, error) {
+	return workload.Generate(cfg, r)
+}
+
+// DefaultWorkloadConfig returns the §V.A workload parameters.
+func DefaultWorkloadConfig() WorkloadConfig { return workload.DefaultGenConfig() }
+
+// DefaultEngineConfig returns the scheduling-framework defaults.
+func DefaultEngineConfig() EngineConfig { return sched.DefaultConfig() }
+
+// NewEngine wires a platform, a workload and a policy into a simulation.
+// Call Run on the result to execute it.
+func NewEngine(cfg EngineConfig, pl *Platform, tasks []*Task, policy Policy, r *Stream) (*Engine, error) {
+	return sched.New(cfg, pl, tasks, policy, r)
+}
+
+// Figure constructors, one per evaluation figure of the paper.
+var (
+	// Figure7 reproduces average response time vs task count.
+	Figure7 = experiments.Figure7
+	// Figure8 reproduces energy consumption vs task count.
+	Figure8 = experiments.Figure8
+	// Figure9 reproduces utilisation vs learning cycles, heavily loaded.
+	Figure9 = experiments.Figure9
+	// Figure10 reproduces utilisation vs learning cycles, lightly loaded.
+	Figure10 = experiments.Figure10
+	// Figure11 reproduces successful rate vs resource heterogeneity.
+	Figure11 = experiments.Figure11
+	// Figure12 reproduces energy consumption vs resource heterogeneity.
+	Figure12 = experiments.Figure12
+)
+
+// FigureByID dispatches a figure constructor by identifier ("7".."12").
+func FigureByID(p Profile, id string) (Figure, error) { return experiments.FigureByID(p, id) }
+
+// AllFigureIDs lists the reproducible figures in paper order.
+func AllFigureIDs() []string {
+	return append([]string(nil), experiments.AllFigureIDs...)
+}
+
+// AllFigures regenerates every figure under the profile.
+func AllFigures(p Profile) ([]Figure, error) { return experiments.All(p) }
+
+// RenderTable renders a figure as an aligned text table.
+func RenderTable(fig Figure) string { return report.Table(fig) }
+
+// RenderChart renders a figure as an ASCII chart of the given size.
+func RenderChart(fig Figure, width, height int) string { return report.Chart(fig, width, height) }
+
+// RenderCSV renders a figure as long-form CSV.
+func RenderCSV(fig Figure) string { return report.CSV(fig) }
+
+// LoadConfig reads a JSON profile file.
+func LoadConfig(path string) (ConfigFile, error) { return config.Load(path) }
+
+// SaveConfig writes a JSON profile file.
+func SaveConfig(path string, f ConfigFile) error { return config.Save(path, f) }
+
+// DefaultConfigFile wraps the default profile for saving.
+func DefaultConfigFile() ConfigFile { return config.Default() }
+
+// AdaptiveRLConfig exposes the Adaptive-RL hyper-parameters (exploration
+// schedule, shared-memory / dual-feedback / neural-net switches) for
+// tuning and ablation studies.
+type AdaptiveRLConfig = core.Config
+
+// DefaultAdaptiveRLConfig returns the tuned Adaptive-RL defaults.
+func DefaultAdaptiveRLConfig() AdaptiveRLConfig { return core.DefaultConfig() }
+
+// NewAdaptiveRLPolicy constructs an Adaptive-RL policy with a custom
+// configuration; pass it to RunWith or NewEngine.
+func NewAdaptiveRLPolicy(cfg AdaptiveRLConfig) (Policy, error) { return core.New(cfg) }
+
+// BuildScenario constructs the platform and workload for a run point
+// without executing it.
+func BuildScenario(p Profile, spec RunSpec) (*Platform, []*Task, error) {
+	return experiments.Build(p, spec)
+}
+
+// RunWith executes one simulation point with a caller-supplied policy
+// instance (which must be fresh: policies carry learned state).
+func RunWith(p Profile, spec RunSpec, policy Policy) (Result, error) {
+	return experiments.RunWith(p, spec, policy)
+}
+
+// WriteWorkloadTrace serialises tasks to CSV (id, arrival, size, ACT,
+// deadline, priority) for editing or replay.
+func WriteWorkloadTrace(w io.Writer, tasks []*Task) error {
+	return workload.WriteTrace(w, tasks)
+}
+
+// ReadWorkloadTrace parses a CSV task trace (validated, arrival-ordered)
+// ready to drive NewEngine.
+func ReadWorkloadTrace(r io.Reader) ([]*Task, error) {
+	return workload.ReadTrace(r)
+}
+
+// BurstyWorkloadConfig extends the workload generator with an on/off
+// modulated Poisson arrival process (same long-run rate, bursty shape).
+type BurstyWorkloadConfig = workload.BurstyConfig
+
+// DefaultBurstyWorkloadConfig returns a 4x burst every ~5 gap-lengths.
+func DefaultBurstyWorkloadConfig() BurstyWorkloadConfig { return workload.DefaultBurstyConfig() }
+
+// GenerateBurstyWorkload produces a bursty task stream.
+func GenerateBurstyWorkload(cfg BurstyWorkloadConfig, r *Stream) ([]*Task, error) {
+	return workload.GenerateBursty(cfg, r)
+}
+
+// RenderMarkdown renders a figure as a GitHub-flavoured markdown table.
+func RenderMarkdown(fig Figure) string { return report.Markdown(fig) }
+
+// SaveAdaptiveRLCheckpoint serialises a trained Adaptive-RL policy's
+// learned state (networks, memory, exploration counters) as JSON.
+func SaveAdaptiveRLCheckpoint(w io.Writer, p Policy) error {
+	a, ok := p.(*core.AdaptiveRL)
+	if !ok {
+		return fmt.Errorf("rlsched: %T is not an Adaptive-RL policy", p)
+	}
+	return a.SaveCheckpoint(w)
+}
+
+// LoadAdaptiveRLCheckpoint restores a trained Adaptive-RL policy; the
+// result preserves its learning across subsequent runs.
+func LoadAdaptiveRLCheckpoint(r io.Reader) (Policy, error) {
+	return core.LoadCheckpoint(r)
+}
+
+// SWFConfig controls conversion of Standard Workload Format traces
+// (Parallel Workloads Archive) into tasks.
+type SWFConfig = workload.SWFConfig
+
+// DefaultSWFConfig returns a conversion preserving trace seconds as time
+// units against a 500 MIPS reference.
+func DefaultSWFConfig() SWFConfig { return workload.DefaultSWFConfig() }
+
+// ReadSWFWorkload imports an SWF trace as a task stream.
+func ReadSWFWorkload(r io.Reader, cfg SWFConfig) ([]*Task, error) {
+	return workload.ReadSWF(r, cfg)
+}
+
+// Timeline is a tracer that reconstructs the per-processor execution
+// schedule (Gantt chart) of a run; attach it via EngineConfig.Tracer and
+// export with WriteCSV.
+type Timeline = trace.Timeline
+
+// NewTimeline creates an empty timeline collector.
+func NewTimeline() *Timeline { return trace.NewTimeline() }

@@ -1,0 +1,199 @@
+package rlsched_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rlsched"
+)
+
+// smallProfile shrinks the default profile so API tests stay fast.
+func smallProfile() rlsched.Profile {
+	p := rlsched.DefaultProfile()
+	p.Replications = 1
+	p.ObservationPeriod = 600
+	return p
+}
+
+func TestRunThroughPublicAPI(t *testing.T) {
+	res, err := rlsched.Run(smallProfile(), rlsched.RunSpec{
+		Policy: rlsched.AdaptiveRL, NumTasks: 300, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Completed != 300 {
+		t.Fatalf("completed %d/300", res.Completed)
+	}
+	if res.Policy != string(rlsched.AdaptiveRL) {
+		t.Fatalf("policy %q", res.Policy)
+	}
+	if res.AveRT <= 0 || res.ECS <= 0 {
+		t.Fatalf("degenerate metrics: %+v", res)
+	}
+}
+
+func TestRunDeterministicThroughAPI(t *testing.T) {
+	spec := rlsched.RunSpec{Policy: rlsched.QPlus, NumTasks: 200, Seed: 5}
+	a, err := rlsched.Run(smallProfile(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rlsched.Run(smallProfile(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AveRT != b.AveRT || a.ECS != b.ECS {
+		t.Fatal("API runs not deterministic")
+	}
+}
+
+func TestAllPoliciesConstructible(t *testing.T) {
+	names := rlsched.AllPolicies()
+	if len(names) != 4 {
+		t.Fatalf("expected 4 comparison policies, got %d", len(names))
+	}
+	for _, name := range append(names, rlsched.Greedy) {
+		p, err := rlsched.NewPolicy(name)
+		if err != nil {
+			t.Fatalf("NewPolicy(%s): %v", name, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("policy %s has empty name", name)
+		}
+	}
+	if _, err := rlsched.NewPolicy("nope"); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+}
+
+func TestManualEngineAssembly(t *testing.T) {
+	r := rlsched.NewStream(42, "manual")
+	pcfg := rlsched.DefaultPlatformConfig()
+	pcfg.Sites = 2
+	pl, err := rlsched.GeneratePlatform(pcfg, r.Split("platform"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := rlsched.DefaultWorkloadConfig()
+	wcfg.NumTasks = 150
+	wcfg.SlowestSpeedMIPS = pl.SlowestSpeed()
+	tasks, err := rlsched.GenerateWorkload(wcfg, r.Split("workload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := rlsched.NewPolicy(rlsched.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := rlsched.NewEngine(rlsched.DefaultEngineConfig(), pl, tasks, policy, r.Split("engine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run()
+	if res.Completed != 150 {
+		t.Fatalf("completed %d/150", res.Completed)
+	}
+}
+
+func TestFigureByIDAndRendering(t *testing.T) {
+	p := smallProfile()
+	fig, err := rlsched.FigureByID(p, "12")
+	if err != nil {
+		t.Fatalf("FigureByID: %v", err)
+	}
+	if fig.ID != "figure12" || len(fig.Series) != 2 {
+		t.Fatalf("unexpected figure: %s with %d series", fig.ID, len(fig.Series))
+	}
+	table := rlsched.RenderTable(fig)
+	if !strings.Contains(table, "FIGURE12") || !strings.Contains(table, "heavily-loaded") {
+		t.Fatalf("table rendering broken:\n%s", table)
+	}
+	chart := rlsched.RenderChart(fig, 40, 10)
+	if !strings.Contains(chart, "legend:") {
+		t.Fatalf("chart rendering broken:\n%s", chart)
+	}
+	csv := rlsched.RenderCSV(fig)
+	if !strings.HasPrefix(csv, "series,x,y,ci95\n") {
+		t.Fatalf("csv rendering broken:\n%s", csv)
+	}
+	if _, err := rlsched.FigureByID(p, "99"); err == nil {
+		t.Fatal("expected error for unknown figure")
+	}
+}
+
+func TestAllFigureIDsOrder(t *testing.T) {
+	ids := rlsched.AllFigureIDs()
+	want := []string{"figure7", "figure8", "figure9", "figure10", "figure11", "figure12"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestConfigRoundTripThroughAPI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.json")
+	f := rlsched.DefaultConfigFile()
+	f.Profile.Seed = 1234
+	if err := rlsched.SaveConfig(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rlsched.LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Profile.Seed != 1234 {
+		t.Fatalf("seed %d", got.Profile.Seed)
+	}
+}
+
+func TestHeterogeneityOverrideThroughAPI(t *testing.T) {
+	p := smallProfile()
+	res, err := rlsched.Run(p, rlsched.RunSpec{
+		Policy: rlsched.AdaptiveRL, NumTasks: 200, HeterogeneityCV: 0.9, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Heterogeneity <= 0 {
+		t.Fatal("heterogeneity override had no effect")
+	}
+}
+
+func TestCheckpointThroughAPI(t *testing.T) {
+	cfg := rlsched.DefaultAdaptiveRLConfig()
+	cfg.PreserveLearning = true
+	policy, err := rlsched.NewAdaptiveRLPolicy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := smallProfile()
+	if _, err := rlsched.RunWith(p, rlsched.RunSpec{Policy: rlsched.AdaptiveRL, NumTasks: 200, Seed: 1}, policy); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rlsched.SaveAdaptiveRLCheckpoint(&sb, policy); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := rlsched.LoadAdaptiveRLCheckpoint(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rlsched.RunWith(p, rlsched.RunSpec{Policy: rlsched.AdaptiveRL, NumTasks: 200, Seed: 2}, restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 200 {
+		t.Fatal("restored policy run incomplete")
+	}
+	// Non-adaptive policies are rejected.
+	greedy, _ := rlsched.NewPolicy(rlsched.Greedy)
+	if err := rlsched.SaveAdaptiveRLCheckpoint(&sb, greedy); err == nil {
+		t.Fatal("expected error for non-adaptive policy")
+	}
+}

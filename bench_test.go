@@ -1,0 +1,317 @@
+package rlsched_test
+
+// The benchmark harness regenerates every evaluation figure of the paper
+// (7-12) and measures the ablations called out in DESIGN.md. Figure
+// benches report the headline numbers of each figure as custom metrics so
+// `go test -bench` output doubles as a compact reproduction record;
+// EXPERIMENTS.md documents the expected shapes.
+
+import (
+	"strings"
+	"testing"
+
+	"rlsched"
+)
+
+// benchProfile is the figure-regeneration profile: single replication per
+// point so one benchmark iteration is one full sweep.
+func benchProfile() rlsched.Profile {
+	p := rlsched.DefaultProfile()
+	p.Replications = 1
+	return p
+}
+
+// reportSeries attaches the first/last y-values of each series to the
+// benchmark output.
+func reportSeries(b *testing.B, fig rlsched.Figure) {
+	b.Helper()
+	for _, s := range fig.Series {
+		if len(s.Y) == 0 {
+			continue
+		}
+		// Metric units must be whitespace-free single tokens.
+		label := strings.Map(func(r rune) rune {
+			switch r {
+			case ' ', '(', ')':
+				return -1
+			default:
+				return r
+			}
+		}, s.Label)
+		if len(label) > 24 {
+			label = label[:24]
+		}
+		b.ReportMetric(s.Y[0], label+"/first")
+		b.ReportMetric(s.Y[len(s.Y)-1], label+"/last")
+	}
+}
+
+func BenchmarkFigure7AveRT(b *testing.B) {
+	p := benchProfile()
+	var fig rlsched.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = rlsched.Figure7(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+func BenchmarkFigure8Energy(b *testing.B) {
+	p := benchProfile()
+	var fig rlsched.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = rlsched.Figure8(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+func BenchmarkFigure9UtilHeavy(b *testing.B) {
+	p := benchProfile()
+	var fig rlsched.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = rlsched.Figure9(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+func BenchmarkFigure10UtilLight(b *testing.B) {
+	p := benchProfile()
+	var fig rlsched.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = rlsched.Figure10(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+func BenchmarkFigure11Success(b *testing.B) {
+	p := benchProfile()
+	var fig rlsched.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = rlsched.Figure11(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+func BenchmarkFigure12EnergyHet(b *testing.B) {
+	p := benchProfile()
+	var fig rlsched.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = rlsched.Figure12(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+// benchOnePoint runs a single heavy-load simulation and reports AveRT and
+// ECS as metrics; used by the ablation benches.
+func benchOnePoint(b *testing.B, p rlsched.Profile, policy rlsched.PolicyName) {
+	b.Helper()
+	var res rlsched.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = rlsched.Run(p, rlsched.RunSpec{Policy: policy, NumTasks: p.HeavyTasks, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.AveRT, "AveRT")
+	b.ReportMetric(res.ECS/1e6, "ECS-M")
+	b.ReportMetric(res.SuccessRate, "success")
+}
+
+// Benchmark_AblationSplitOn/Off measure the §IV.D.2 split process.
+func Benchmark_AblationSplitOn(b *testing.B) {
+	benchOnePoint(b, benchProfile(), rlsched.AdaptiveRL)
+}
+
+func Benchmark_AblationSplitOff(b *testing.B) {
+	p := benchProfile()
+	p.Engine.DisableSplit = true
+	benchOnePoint(b, p, rlsched.AdaptiveRL)
+}
+
+// Benchmark_AblationSpeedAwareDispatch measures the engine-level
+// fastest-idle-first optimisation the paper's model does not include.
+func Benchmark_AblationSpeedAwareDispatch(b *testing.B) {
+	p := benchProfile()
+	p.Engine.SpeedAwareDispatch = true
+	benchOnePoint(b, p, rlsched.AdaptiveRL)
+}
+
+// Benchmark_AblationGreedy is the no-learning reference arm: adaptive TG
+// and learning removed, best-fit placement kept.
+func Benchmark_AblationGreedy(b *testing.B) {
+	benchOnePoint(b, benchProfile(), rlsched.Greedy)
+}
+
+// Benchmark_AblationPolicy* pin the four comparison policies at the heavy
+// point for quick side-by-side runs.
+func Benchmark_AblationPolicyAdaptive(b *testing.B) {
+	benchOnePoint(b, benchProfile(), rlsched.AdaptiveRL)
+}
+
+func Benchmark_AblationPolicyOnlineRL(b *testing.B) {
+	benchOnePoint(b, benchProfile(), rlsched.OnlineRL)
+}
+
+func Benchmark_AblationPolicyQPlus(b *testing.B) {
+	benchOnePoint(b, benchProfile(), rlsched.QPlus)
+}
+
+func Benchmark_AblationPolicyPredictive(b *testing.B) {
+	benchOnePoint(b, benchProfile(), rlsched.Predictive)
+}
+
+// BenchmarkSingleRun* measure raw simulator throughput at the two load
+// states (wall-clock per simulated run).
+func BenchmarkSingleRunLight(b *testing.B) {
+	p := benchProfile()
+	var res rlsched.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = rlsched.Run(p, rlsched.RunSpec{Policy: rlsched.AdaptiveRL, NumTasks: p.LightTasks, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Completed), "tasks")
+}
+
+func BenchmarkSingleRunHeavy(b *testing.B) {
+	p := benchProfile()
+	var res rlsched.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = rlsched.Run(p, rlsched.RunSpec{Policy: rlsched.AdaptiveRL, NumTasks: p.HeavyTasks, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Completed), "tasks")
+}
+
+// benchAblatedAdaptive runs the heavy point with a modified Adaptive-RL
+// configuration, isolating one design choice.
+func benchAblatedAdaptive(b *testing.B, mutate func(*rlsched.AdaptiveRLConfig)) {
+	b.Helper()
+	p := benchProfile()
+	var res rlsched.Result
+	for i := 0; i < b.N; i++ {
+		cfg := rlsched.DefaultAdaptiveRLConfig()
+		mutate(&cfg)
+		policy, err := rlsched.NewAdaptiveRLPolicy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = rlsched.RunWith(p, rlsched.RunSpec{Policy: rlsched.AdaptiveRL, NumTasks: p.HeavyTasks, Seed: 1}, policy)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.AveRT, "AveRT")
+	b.ReportMetric(res.ECS/1e6, "ECS-M")
+	b.ReportMetric(res.SuccessRate, "success")
+}
+
+// Benchmark_AblationNoSharedMemory isolates the shared learning memory —
+// the paper credits it for Adaptive-RL's fast learning (§V.B Exp 1).
+func Benchmark_AblationNoSharedMemory(b *testing.B) {
+	benchAblatedAdaptive(b, func(c *rlsched.AdaptiveRLConfig) { c.UseSharedMemory = false })
+}
+
+// Benchmark_AblationRewardOnly removes the err_tg signal, degrading the
+// dual feedback of §IV.C to reward alone.
+func Benchmark_AblationRewardOnly(b *testing.B) {
+	benchAblatedAdaptive(b, func(c *rlsched.AdaptiveRLConfig) { c.UseErrorFeedback = false })
+}
+
+// Benchmark_AblationNoNeuralNet removes the value-function approximator,
+// leaving memory-lookup exploitation only.
+func Benchmark_AblationNoNeuralNet(b *testing.B) {
+	benchAblatedAdaptive(b, func(c *rlsched.AdaptiveRLConfig) { c.UseNeuralNet = false })
+}
+
+// Benchmark_AblationFailures measures the failure-injection extension:
+// processor MTBF 400 time units, 25-unit repairs, at the heavy point.
+func Benchmark_AblationFailures(b *testing.B) {
+	p := benchProfile()
+	p.Engine.FailureMTBF = 400
+	p.Engine.RepairTime = 25
+	var res rlsched.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = rlsched.Run(p, rlsched.RunSpec{Policy: rlsched.AdaptiveRL, NumTasks: p.HeavyTasks, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.AveRT, "AveRT")
+	b.ReportMetric(res.ECS/1e6, "ECS-M")
+	b.ReportMetric(float64(res.Failures), "failures")
+	b.ReportMetric(float64(res.Restarts), "restarts")
+}
+
+// Benchmark_AblationIdleSleep measures the Adaptive-RL idle-sleep
+// extension (beyond the paper) at the LIGHT point with a true deep-sleep
+// level, where idle energy dominates.
+func Benchmark_AblationIdleSleep(b *testing.B) {
+	p := benchProfile()
+	p.Platform.SleepPowerW = 5 // real deep sleep, not the paper-profile C1 halt
+	var res rlsched.Result
+	for i := 0; i < b.N; i++ {
+		cfg := rlsched.DefaultAdaptiveRLConfig()
+		cfg.ManageIdleSleep = true
+		policy, err := rlsched.NewAdaptiveRLPolicy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = rlsched.RunWith(p, rlsched.RunSpec{Policy: rlsched.AdaptiveRL, NumTasks: p.LightTasks, Seed: 1}, policy)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.AveRT, "AveRT")
+	b.ReportMetric(res.ECS/1e6, "ECS-M")
+	b.ReportMetric(res.SuccessRate, "success")
+}
+
+// Benchmark_AblationDVFS measures the lazy-DVFS extension with a cubic
+// power curve at the light point (slack to clock into).
+func Benchmark_AblationDVFS(b *testing.B) {
+	p := benchProfile()
+	p.Platform.PowerExponent = 3
+	p.Engine.DVFSLazy = true
+	var res rlsched.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = rlsched.Run(p, rlsched.RunSpec{Policy: rlsched.AdaptiveRL, NumTasks: p.LightTasks, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.AveRT, "AveRT")
+	b.ReportMetric(res.ECS/1e6, "ECS-M")
+	b.ReportMetric(res.SuccessRate, "success")
+}

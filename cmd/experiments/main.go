@@ -1,0 +1,115 @@
+// Command experiments regenerates the paper's evaluation figures (7-12).
+//
+// Usage:
+//
+//	experiments [-fig 7|8|9|10|11|12|all] [-reps N] [-seed S]
+//	            [-period T] [-sizescale F] [-csv] [-chart]
+//
+// Each figure prints as an aligned table (default), optionally with an
+// ASCII chart and CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rlsched/internal/config"
+	"rlsched/internal/experiments"
+	"rlsched/internal/report"
+)
+
+func main() {
+	figID := flag.String("fig", "all", "figure to regenerate: 7..12, E1, E2, ext, or all")
+	reps := flag.Int("reps", 0, "replications per point (0 = profile default)")
+	seed := flag.Uint64("seed", 0, "base seed (0 = profile default)")
+	period := flag.Float64("period", 0, "observation period override (time units)")
+	sizeScale := flag.Float64("sizescale", 0, "task-size scale override")
+	csv := flag.Bool("csv", false, "also print CSV")
+	chart := flag.Bool("chart", false, "also print an ASCII chart")
+	md := flag.Bool("md", false, "print as a markdown table instead of aligned text")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablation table instead of figures")
+	outDir := flag.String("out", "", "directory to write one CSV per figure")
+	configPath := flag.String("config", "", "profile JSON (default: built-in profile)")
+	flag.Parse()
+
+	profile := experiments.DefaultProfile()
+	if *configPath != "" {
+		f, err := config.Load(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		profile = f.Profile
+	}
+	if *reps > 0 {
+		profile.Replications = *reps
+	}
+	if *seed > 0 {
+		profile.Seed = *seed
+	}
+	if *period > 0 {
+		profile.ObservationPeriod = *period
+	}
+	if *sizeScale > 0 {
+		profile.SizeScale = *sizeScale
+	}
+
+	if *ablations {
+		start := time.Now()
+		results, err := experiments.RunAblations(profile, experiments.DefaultAblationArms())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(report.AblationTable(results))
+		fmt.Printf("(ablations run in %v)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	ids := experiments.AllFigureIDs
+	switch *figID {
+	case "all":
+	case "ext":
+		ids = experiments.ExtensionFigureIDs
+	default:
+		ids = []string{*figID}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := experiments.FigureByID(profile, id)
+		if err != nil {
+			fig, err = experiments.ExtensionFigureByID(profile, id)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if *md {
+			fmt.Print(report.Markdown(fig))
+		} else {
+			fmt.Print(report.Table(fig))
+		}
+		if *chart {
+			fmt.Print(report.Chart(fig, 72, 18))
+		}
+		if *csv {
+			fmt.Print(report.CSV(fig))
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, fig.ID+".csv")
+			if err := os.WriteFile(path, []byte(report.CSV(fig)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(wrote %s)\n", path)
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", fig.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,107 @@
+// Command rlsim runs a single simulation and prints its summary — the
+// quickest way to poke at one scenario.
+//
+// Usage:
+//
+//	rlsim [-policy adaptive-rl] [-n 1000] [-cv 0] [-seed 1]
+//	      [-config profile.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rlsched"
+)
+
+func main() {
+	policy := flag.String("policy", "adaptive-rl",
+		"policy: adaptive-rl | online-rl | q+-learning | prediction-based | greedy")
+	n := flag.Int("n", 1000, "number of tasks")
+	cv := flag.Float64("cv", 0, "heterogeneity override (0 = nominal platform)")
+	seed := flag.Uint64("seed", 1, "seed")
+	configPath := flag.String("config", "", "profile JSON (default: built-in profile)")
+	dumpTasks := flag.String("dump-tasks", "", "write per-task records CSV to this file")
+	dumpGroups := flag.String("dump-groups", "", "write per-group records CSV to this file")
+	dumpGantt := flag.String("dump-gantt", "", "write the per-processor schedule (Gantt CSV) to this file")
+	flag.Parse()
+
+	profile := rlsched.DefaultProfile()
+	if *configPath != "" {
+		f, err := rlsched.LoadConfig(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		profile = f.Profile
+	}
+
+	var timeline *rlsched.Timeline
+	if *dumpGantt != "" {
+		timeline = rlsched.NewTimeline()
+		profile.Engine.Tracer = timeline
+	}
+
+	res, err := rlsched.Run(profile, rlsched.RunSpec{
+		Policy:          rlsched.PolicyName(*policy),
+		NumTasks:        *n,
+		HeterogeneityCV: *cv,
+		Seed:            *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("policy            %s\n", res.Policy)
+	fmt.Printf("tasks             %d submitted, %d completed\n", res.Submitted, res.Completed)
+	fmt.Printf("avg response time %.2f t units (wait %.2f, p95 %.2f)\n",
+		res.AveRT, res.MeanWait, res.Collector.RTPercentile(95))
+	fmt.Printf("energy (ECS)      %.3f million W·t (%.1f per task, idle share %.1f%%)\n",
+		res.ECS/1e6, res.Efficiency.EnergyPerTask, res.Efficiency.IdleFraction*100)
+	fmt.Printf("successful rate   %.3f (%d deadline hits)\n", res.SuccessRate, res.DeadlineHits)
+	fmt.Printf("utilisation       %.3f mean busy fraction\n", res.MeanUtilization)
+	fmt.Printf("group size        %.2f mean (adaptive opnum outcome)\n", res.MeanGroupSize)
+	fmt.Printf("makespan          %.1f t units\n", res.EndTime)
+	dumps := []struct {
+		path  string
+		write func(io.Writer) error
+	}{
+		{*dumpTasks, res.Collector.WriteTaskRecords},
+		{*dumpGroups, res.Collector.WriteGroupRecords},
+	}
+	if timeline != nil {
+		dumps = append(dumps, struct {
+			path  string
+			write func(io.Writer) error
+		}{*dumpGantt, timeline.WriteCSV})
+	}
+	for _, dump := range dumps {
+		if dump.path == "" {
+			continue
+		}
+		f, err := os.Create(dump.path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := dump.write(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", dump.path)
+	}
+	if len(res.UtilWindows) > 0 {
+		fmt.Printf("util by cycles    ")
+		for _, u := range res.UtilWindows {
+			fmt.Printf("%.2f ", u)
+		}
+		fmt.Println()
+	}
+}

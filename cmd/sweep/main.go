@@ -1,0 +1,106 @@
+// Command sweep runs custom parameter sweeps over task count, policy and
+// heterogeneity, emitting one CSV row per point. It complements
+// cmd/experiments (fixed paper figures) for exploratory studies.
+//
+// Usage:
+//
+//	sweep [-policies adaptive-rl,online-rl] [-tasks 500,1000,2000]
+//	      [-cv 0,0.5,0.9] [-reps 3] [-seed 1] [-config profile.json]
+//
+// Output columns: policy, tasks, cv, replication, avert, ecs, success,
+// utilization, meanwait, endtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rlsched"
+)
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	policiesFlag := flag.String("policies", "adaptive-rl,online-rl,q+-learning,prediction-based", "comma-separated policy names")
+	tasksFlag := flag.String("tasks", "500,1500,3000", "comma-separated task counts")
+	cvFlag := flag.String("cv", "0", "comma-separated heterogeneity levels (0 = nominal platform)")
+	reps := flag.Int("reps", 1, "replications per point")
+	seed := flag.Uint64("seed", 1, "base seed")
+	configPath := flag.String("config", "", "profile JSON (default: built-in profile)")
+	flag.Parse()
+
+	profile := rlsched.DefaultProfile()
+	if *configPath != "" {
+		f, err := rlsched.LoadConfig(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		profile = f.Profile
+	}
+
+	taskCounts, err := parseInts(*tasksFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cvs, err := parseFloats(*cvFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var policies []rlsched.PolicyName
+	for _, name := range strings.Split(*policiesFlag, ",") {
+		policies = append(policies, rlsched.PolicyName(strings.TrimSpace(name)))
+	}
+
+	fmt.Println("policy,tasks,cv,replication,avert,ecs,success,utilization,meanwait,endtime")
+	for _, policy := range policies {
+		for _, n := range taskCounts {
+			for _, cv := range cvs {
+				for k := 0; k < *reps; k++ {
+					res, err := rlsched.Run(profile, rlsched.RunSpec{
+						Policy:          policy,
+						NumTasks:        n,
+						HeterogeneityCV: cv,
+						Seed:            *seed + uint64(k),
+					})
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					fmt.Printf("%s,%d,%g,%d,%.4f,%.1f,%.4f,%.4f,%.4f,%.1f\n",
+						policy, n, cv, k, res.AveRT, res.ECS, res.SuccessRate,
+						res.MeanUtilization, res.MeanWait, res.EndTime)
+				}
+			}
+		}
+	}
+}

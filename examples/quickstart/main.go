@@ -1,0 +1,48 @@
+// Quickstart: run the paper's Adaptive-RL scheduler on a generated
+// platform and workload, and print the headline metrics the evaluation
+// reports (average response time, energy consumption, successful rate).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlsched"
+)
+
+func main() {
+	// The default profile encodes the paper's §V.A experiment setting
+	// scaled as documented in EXPERIMENTS.md; every run is deterministic
+	// for a fixed seed.
+	profile := rlsched.DefaultProfile()
+
+	result, err := rlsched.Run(profile, rlsched.RunSpec{
+		Policy:   rlsched.AdaptiveRL,
+		NumTasks: 1000,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Adaptive-RL on 1000 tasks")
+	fmt.Printf("  completed          %d/%d\n", result.Completed, result.Submitted)
+	fmt.Printf("  avg response time  %.1f t units\n", result.AveRT)
+	fmt.Printf("  energy (ECS)       %.2f million W·t\n", result.ECS/1e6)
+	fmt.Printf("  successful rate    %.1f%%\n", result.SuccessRate*100)
+	fmt.Printf("  mean utilisation   %.1f%%\n", result.MeanUtilization*100)
+	fmt.Printf("  mean group size    %.2f tasks (adaptive opnum)\n", result.MeanGroupSize)
+
+	// The same run with the non-learning greedy reference shows what the
+	// learning layer buys.
+	baseline, err := rlsched.Run(profile, rlsched.RunSpec{
+		Policy:   rlsched.Greedy,
+		NumTasks: 1000,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGreedy reference: AveRT %.1f, ECS %.2fM, success %.1f%%\n",
+		baseline.AveRT, baseline.ECS/1e6, baseline.SuccessRate*100)
+}

@@ -1,0 +1,72 @@
+package onlinerl
+
+import (
+	"math"
+	"testing"
+
+	"rlsched/internal/platform"
+)
+
+func testNode(pmaxes []float64) *platform.Node {
+	n := &platform.Node{QueueCap: 4}
+	for i, pm := range pmaxes {
+		n.Processors = append(n.Processors, &platform.Processor{
+			ID: i, Index: i, Node: n, SpeedMIPS: 750, PMaxW: pm, PMinW: pm / 2, Throttle: 1,
+		})
+	}
+	return n
+}
+
+func TestAllowedActionsRespectsPowercap(t *testing.T) {
+	levels := []float64{0.7, 0.9, 1.0}
+	node := testNode([]float64{90, 90})
+	ns := &nodeState{powercap: 0.9}
+	allowed := ns.allowedActions(levels, node)
+	// Busy power fractions: (45+45*l)/90 = (1+l)/2 -> 0.85, 0.95, 1.0.
+	// Cap 0.9 admits only level 0 (plus it is always allowed anyway).
+	if len(allowed) != 1 || allowed[0] != 0 {
+		t.Fatalf("allowed = %v, want [0]", allowed)
+	}
+	ns.powercap = 1.0
+	if got := ns.allowedActions(levels, node); len(got) != 3 {
+		t.Fatalf("cap 1.0 should allow all levels, got %v", got)
+	}
+}
+
+func TestAllowedActionsNeverEmpty(t *testing.T) {
+	levels := []float64{0.9, 1.0}
+	node := testNode([]float64{95})
+	ns := &nodeState{powercap: 0.1} // unattainably low cap
+	allowed := ns.allowedActions(levels, node)
+	if len(allowed) != 1 || allowed[0] != 0 {
+		t.Fatalf("lowest level must always be allowed, got %v", allowed)
+	}
+}
+
+func TestEpsilonDecaysWithCycles(t *testing.T) {
+	p := NewDefault()
+	st := &agentState{}
+	fresh := p.epsilon(st)
+	st.cycles = 1000
+	decayed := p.epsilon(st)
+	if decayed >= fresh {
+		t.Fatalf("epsilon did not decay: %g -> %g", fresh, decayed)
+	}
+	if decayed < p.cfg.EpsilonFloor {
+		t.Fatalf("epsilon %g fell below floor %g", decayed, p.cfg.EpsilonFloor)
+	}
+	if math.Abs(fresh-p.cfg.Epsilon0) > 1e-12 {
+		t.Fatalf("fresh epsilon %g, want %g", fresh, p.cfg.Epsilon0)
+	}
+}
+
+func TestNodeStateQTablesSized(t *testing.T) {
+	p := NewDefault()
+	ns := &nodeState{action: 0, powercap: 1}
+	for s := range ns.q {
+		ns.q[s] = make([]float64, len(p.cfg.ThrottleLevels))
+	}
+	if len(ns.q) != loadBuckets {
+		t.Fatalf("state space %d, want %d", len(ns.q), loadBuckets)
+	}
+}

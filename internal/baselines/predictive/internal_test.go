@@ -1,0 +1,69 @@
+package predictive
+
+import (
+	"testing"
+
+	"rlsched/internal/grouping"
+	"rlsched/internal/neural"
+	"rlsched/internal/platform"
+	"rlsched/internal/rng"
+	"rlsched/internal/sched"
+	"rlsched/internal/workload"
+)
+
+func testGroup(sizes ...float64) *grouping.Group {
+	g := &grouping.Group{}
+	for i, s := range sizes {
+		g.Tasks = append(g.Tasks, &workload.Task{ID: i, SizeMI: s, Deadline: s / 100})
+	}
+	return g
+}
+
+func testNodeInfo(speed float64, qcap int, queued float64) sched.NodeInfo {
+	n := &platform.Node{QueueCap: qcap}
+	n.Processors = []*platform.Processor{{SpeedMIPS: speed, Node: n, Throttle: 1}}
+	return sched.NodeInfo{Node: n, QueuedWeight: queued, FreeSlots: qcap}
+}
+
+func newTestPolicy(t *testing.T) *Policy {
+	t.Helper()
+	p := NewDefault()
+	cfg := neural.Config{Inputs: numFeatures, Outputs: 1, LearningRate: p.cfg.LearningRate, InitScale: 0.1}
+	p.model = neural.MustNew(cfg, rng.NewStream(1, "test"))
+	return p
+}
+
+func TestFeaturesDimension(t *testing.T) {
+	p := newTestPolicy(t)
+	f := p.features(testGroup(1000, 2000), testNodeInfo(800, 4, 50))
+	if len(f) != numFeatures {
+		t.Fatalf("features length %d, want %d", len(f), numFeatures)
+	}
+}
+
+func TestPredictDurationClampedNonNegative(t *testing.T) {
+	p := newTestPolicy(t)
+	// Train the model toward a strongly negative output for one input.
+	x := p.features(testGroup(1000), testNodeInfo(800, 4, 0))
+	xCopy := append([]float64(nil), x...)
+	for i := 0; i < 2000; i++ {
+		p.model.Train(xCopy, []float64{-5})
+	}
+	if got := p.predictDuration(testGroup(1000), testNodeInfo(800, 4, 0)); got != 0 {
+		t.Fatalf("negative prediction not clamped: %g", got)
+	}
+}
+
+func TestModelLearnsDurationScale(t *testing.T) {
+	p := newTestPolicy(t)
+	g := testGroup(1000, 1500)
+	ni := testNodeInfo(750, 4, 20)
+	x := append([]float64(nil), p.features(g, ni)...)
+	for i := 0; i < 3000; i++ {
+		p.model.Train(x, []float64{0.8}) // 80 time units / 100
+	}
+	got := p.predictDuration(g, ni)
+	if got < 70 || got > 90 {
+		t.Fatalf("trained prediction %g, want ~80", got)
+	}
+}

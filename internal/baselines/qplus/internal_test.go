@@ -1,0 +1,100 @@
+package qplus
+
+import (
+	"math"
+	"testing"
+
+	"rlsched/internal/platform"
+)
+
+func newProcState(rates int) *procState {
+	return &procState{q: make([][numStates][numActions]float64, rates)}
+}
+
+func TestMeanQAverages(t *testing.T) {
+	ps := newProcState(3)
+	ps.q[0][stateQueueEmpty][actionSleep] = 1
+	ps.q[1][stateQueueEmpty][actionSleep] = 2
+	ps.q[2][stateQueueEmpty][actionSleep] = 6
+	if got := ps.meanQ(stateQueueEmpty, actionSleep); got != 3 {
+		t.Fatalf("meanQ = %g, want 3", got)
+	}
+	if got := ps.meanQ(stateQueueEmpty, actionActive); got != 0 {
+		t.Fatalf("untouched meanQ = %g, want 0", got)
+	}
+}
+
+func TestSettleActiveCost(t *testing.T) {
+	p := NewDefault()
+	proc := &platform.Processor{PMaxW: 90, PMinW: 45, PSleepW: 5, WakeLatency: 2, Throttle: 1}
+	ps := newProcState(len(p.cfg.LearningRates))
+	ps.pending = &decision{state: stateQueueEmpty, action: actionActive, at: 0}
+	p.settle(proc, ps, 10)
+	// Active cost = pmin*dt/pmax = 45*10/90 = 5, scaled into each table by
+	// its learning rate on a zero-initialised Q.
+	for i, lr := range p.cfg.LearningRates {
+		want := lr * 5
+		got := ps.q[i][stateQueueEmpty][actionActive]
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("table %d Q = %g, want %g", i, got, want)
+		}
+	}
+	if ps.pending != nil {
+		t.Fatal("pending decision not cleared")
+	}
+	if ps.updates != 1 {
+		t.Fatalf("updates = %d", ps.updates)
+	}
+}
+
+func TestSettleSleepCostWithWakePenalty(t *testing.T) {
+	p := NewDefault()
+	proc := &platform.Processor{PMaxW: 90, PMinW: 45, PSleepW: 9, WakeLatency: 2, Throttle: 1}
+	ps := newProcState(len(p.cfg.LearningRates))
+	// Simulate: decision at t=0, the processor ran a task since (woken).
+	ps.pending = &decision{state: stateQueueBusy, action: actionSleep, at: 0, tasksRun: 0}
+	proc.NoteTaskRun()
+	p.settle(proc, ps, 10)
+	// Sleep cost = (psleep*dt + penalty*latency*pmax)/pmax
+	//            = (90 + 0.5*2*90)/90 = 2.
+	want := p.cfg.LearningRates[0] * 2
+	got := ps.q[0][stateQueueBusy][actionSleep]
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sleep Q = %g, want %g", got, want)
+	}
+}
+
+func TestSettleSleepWithoutWakeIsCheap(t *testing.T) {
+	p := NewDefault()
+	proc := &platform.Processor{PMaxW: 90, PMinW: 45, PSleepW: 9, WakeLatency: 2, Throttle: 1}
+	slept := newProcState(len(p.cfg.LearningRates))
+	slept.pending = &decision{state: stateQueueEmpty, action: actionSleep, at: 0}
+	p.settle(proc, slept, 10)
+	active := newProcState(len(p.cfg.LearningRates))
+	active.pending = &decision{state: stateQueueEmpty, action: actionActive, at: 0}
+	p.settle(proc, active, 10)
+	if slept.q[0][stateQueueEmpty][actionSleep] >= active.q[0][stateQueueEmpty][actionActive] {
+		t.Fatal("undisturbed sleep must cost less than staying idle")
+	}
+}
+
+func TestSettleNoPendingIsNoop(t *testing.T) {
+	p := NewDefault()
+	proc := &platform.Processor{PMaxW: 90, PMinW: 45, Throttle: 1}
+	ps := newProcState(len(p.cfg.LearningRates))
+	p.settle(proc, ps, 10)
+	if ps.updates != 0 {
+		t.Fatal("settle without pending decision must not update")
+	}
+}
+
+func TestSettleZeroElapsedIsNoop(t *testing.T) {
+	p := NewDefault()
+	proc := &platform.Processor{PMaxW: 90, PMinW: 45, Throttle: 1}
+	ps := newProcState(len(p.cfg.LearningRates))
+	ps.pending = &decision{state: 0, action: actionActive, at: 5}
+	p.settle(proc, ps, 5)
+	if ps.updates != 0 {
+		t.Fatal("zero-elapsed settle must not update")
+	}
+}

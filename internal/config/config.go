@@ -1,0 +1,80 @@
+// Package config serialises experiment profiles to and from JSON so that
+// the cmd tools can pin down every knob of a campaign in a reviewable
+// file. The schema is the exported fields of experiments.Profile; unknown
+// keys are rejected to catch typos, and loaded profiles are validated
+// before use.
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rlsched/internal/experiments"
+)
+
+// File is the on-disk schema.
+type File struct {
+	// Description is free-form text carried along with the profile.
+	Description string `json:"description,omitempty"`
+	// Profile holds every experiment knob.
+	Profile experiments.Profile `json:"profile"`
+}
+
+// Default returns a File wrapping the default profile.
+func Default() File {
+	return File{
+		Description: "ICPP'11 Adaptive-RL reproduction default profile",
+		Profile:     experiments.DefaultProfile(),
+	}
+}
+
+// Marshal renders the file as indented JSON.
+func Marshal(f File) ([]byte, error) {
+	if err := f.Profile.Validate(); err != nil {
+		return nil, fmt.Errorf("config: refusing to marshal invalid profile: %w", err)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Unmarshal parses JSON into a File, rejecting unknown fields and invalid
+// profiles. The input is decoded over the default profile, so omitted
+// fields keep their defaults.
+func Unmarshal(data []byte) (File, error) {
+	f := Default()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return File{}, fmt.Errorf("config: %w", err)
+	}
+	if err := f.Profile.Validate(); err != nil {
+		return File{}, fmt.Errorf("config: invalid profile: %w", err)
+	}
+	return f, nil
+}
+
+// Save writes the file to path.
+func Save(path string, f File) error {
+	data, err := Marshal(f)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return nil
+}
+
+// Load reads and parses the file at path.
+func Load(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, fmt.Errorf("config: %w", err)
+	}
+	return Unmarshal(data)
+}

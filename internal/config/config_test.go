@@ -1,0 +1,111 @@
+package config
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rlsched/internal/experiments"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := Default()
+	f.Profile.SizeScale = 3.21
+	f.Profile.Replications = 7
+	f.Profile.Platform.Sites = 9
+	data, err := Marshal(f)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Profile.SizeScale != 3.21 || got.Profile.Replications != 7 || got.Profile.Platform.Sites != 9 {
+		t.Fatalf("round trip lost fields: %+v", got.Profile)
+	}
+}
+
+func TestUnmarshalDefaultsForOmittedFields(t *testing.T) {
+	got, err := Unmarshal([]byte(`{"profile": {"SizeScale": 2.5}}`))
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	def := experiments.DefaultProfile()
+	if got.Profile.SizeScale != 2.5 {
+		t.Fatalf("override lost: %g", got.Profile.SizeScale)
+	}
+	if got.Profile.ObservationPeriod != def.ObservationPeriod {
+		t.Fatalf("default not preserved: %g", got.Profile.ObservationPeriod)
+	}
+	if got.Profile.Platform.Sites != def.Platform.Sites {
+		t.Fatal("nested defaults not preserved")
+	}
+}
+
+func TestUnmarshalRejectsUnknownFields(t *testing.T) {
+	if _, err := Unmarshal([]byte(`{"profile": {"SizeScle": 2.5}}`)); err == nil {
+		t.Fatal("expected error for unknown field")
+	}
+}
+
+func TestUnmarshalRejectsInvalidProfile(t *testing.T) {
+	if _, err := Unmarshal([]byte(`{"profile": {"SizeScale": -1}}`)); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte(`{not json`)); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestMarshalRejectsInvalidProfile(t *testing.T) {
+	f := Default()
+	f.Profile.Replications = 0
+	if _, err := Marshal(f); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.json")
+	f := Default()
+	f.Description = "test campaign"
+	f.Profile.Seed = 99
+	if err := Save(path, f); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Description != "test campaign" || got.Profile.Seed != 99 {
+		t.Fatalf("Load round trip: %+v", got)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestMarshalIsHumanReadable(t *testing.T) {
+	data, err := Marshal(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "\n  ") {
+		t.Fatal("output not indented")
+	}
+	if !strings.HasSuffix(s, "\n") {
+		t.Fatal("output not newline-terminated")
+	}
+	// The tracer must never leak into the schema.
+	if strings.Contains(s, "Tracer") {
+		t.Fatal("runtime-only Tracer field serialised")
+	}
+}

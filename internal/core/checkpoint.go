@@ -1,0 +1,124 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"rlsched/internal/memory"
+	"rlsched/internal/neural"
+	"rlsched/internal/rng"
+)
+
+// Checkpointing: a trained Adaptive-RL policy serialises to JSON — per
+// agent the network weights and exploration counters, plus the persistent
+// shared memory — so learning can survive process restarts and be shipped
+// between deployments. Checkpoints pair with Config.PreserveLearning; a
+// restored policy continues exactly where the saved one stopped.
+
+// checkpointFile is the on-disk schema.
+type checkpointFile struct {
+	// Version guards the schema.
+	Version int `json:"version"`
+	// Config echoes the configuration the policy was trained under;
+	// Load rejects mismatched learning topology.
+	Config Config `json:"config"`
+	// Agents holds the per-agent learned state, keyed by agent ID.
+	Agents map[string]checkpointAgent `json:"agents"`
+	// Experiences is the persistent shared memory.
+	Experiences []memory.Experience `json:"experiences"`
+}
+
+type checkpointAgent struct {
+	Weights       []float64     `json:"weights,omitempty"`
+	LastAction    memory.Action `json:"last_action"`
+	OwnExperience int           `json:"own_experience"`
+}
+
+const checkpointVersion = 1
+
+// SaveCheckpoint serialises the policy's learned state. The policy must
+// have been initialised (run at least once).
+func (p *AdaptiveRL) SaveCheckpoint(w io.Writer) error {
+	if len(p.agents) == 0 {
+		return fmt.Errorf("core: nothing to checkpoint — the policy has not run")
+	}
+	f := checkpointFile{
+		Version: checkpointVersion,
+		Config:  p.cfg,
+		Agents:  make(map[string]checkpointAgent, len(p.agents)),
+	}
+	ids := make([]int, 0, len(p.agents))
+	for id := range p.agents {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st := p.agents[id]
+		ca := checkpointAgent{
+			LastAction:    st.lastAction,
+			OwnExperience: st.ownExperience,
+		}
+		if st.net != nil {
+			ca.Weights = st.net.Weights()
+		}
+		f.Agents[fmt.Sprintf("%d", id)] = ca
+	}
+	if p.cfg.PreserveLearning && p.ownShared != nil {
+		for _, id := range ids {
+			f.Experiences = append(f.Experiences, p.ownShared.ForAgent(id)...)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores a policy from a checkpoint. The returned policy
+// has PreserveLearning forced on (a restored policy that forgot everything
+// at its next Init would be pointless).
+func LoadCheckpoint(r io.Reader) (*AdaptiveRL, error) {
+	var f checkpointFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, want %d", f.Version, checkpointVersion)
+	}
+	cfg := f.Config
+	cfg.PreserveLearning = true
+	p, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint config: %w", err)
+	}
+	p.ownShared = memory.NewShared()
+	for _, e := range f.Experiences {
+		p.ownShared.Record(e)
+	}
+	seed := rng.NewStream(1, "checkpoint-restore")
+	for key, ca := range f.Agents {
+		var id int
+		if _, err := fmt.Sscanf(key, "%d", &id); err != nil {
+			return nil, fmt.Errorf("core: bad agent key %q", key)
+		}
+		st := &agentState{
+			lastAction:    ca.LastAction,
+			ownExperience: ca.OwnExperience,
+			redecide:      true,
+		}
+		if len(ca.Weights) > 0 {
+			st.net = neural.MustNew(neural.DefaultConfig(len(p.feat)), seed.Split(key))
+			if err := st.net.SetWeights(ca.Weights); err != nil {
+				return nil, fmt.Errorf("core: agent %d: %w", id, err)
+			}
+		}
+		p.agents[id] = st
+	}
+	return p, nil
+}

@@ -1,0 +1,268 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of timestamped
+// events. Events scheduled for the same instant are executed in FIFO order
+// of scheduling (a monotone sequence number breaks ties), which makes runs
+// bit-for-bit reproducible for a fixed seed regardless of map iteration or
+// goroutine scheduling — the engine is strictly single-threaded.
+//
+// The paper's evaluation (ICPP'11, §V) is a pure simulation study; this
+// package is the substrate every experiment runs on.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is the simulator's virtual time, in abstract "time units"
+// (the paper reports response times in "t units").
+type Time = float64
+
+// Event is a scheduled callback. Fire is invoked exactly once, when the
+// simulation clock reaches the event's timestamp, unless the event was
+// cancelled first.
+type Event interface {
+	// Fire executes the event's effect. The engine passes itself so events
+	// can schedule follow-up events.
+	Fire(sim *Simulator)
+}
+
+// EventFunc adapts a plain function to the Event interface.
+type EventFunc func(sim *Simulator)
+
+// Fire implements Event.
+func (f EventFunc) Fire(sim *Simulator) { f(sim) }
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct {
+	item *item
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (h Handle) Cancelled() bool { return h.item != nil && h.item.cancelled }
+
+// Valid reports whether the handle refers to a scheduled event.
+func (h Handle) Valid() bool { return h.item != nil }
+
+// item is a heap entry.
+type item struct {
+	at        Time
+	seq       uint64
+	ev        Event
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// eventHeap orders by (time, seq).
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Simulator owns the virtual clock and the pending-event queue.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	stopped bool
+
+	// MaxEvents bounds the total number of fired events as a runaway
+	// guard; zero means no bound.
+	MaxEvents uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, it := range s.queue {
+		if !it.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// At schedules ev to fire at absolute time at. Scheduling in the past
+// (before Now) panics: it would silently corrupt causality.
+func (s *Simulator) At(at Time, ev Event) Handle {
+	if math.IsNaN(at) {
+		panic("des: scheduling at NaN time")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling event in the past: at=%g now=%g", at, s.now))
+	}
+	it := &item{at: at, seq: s.seq, ev: ev}
+	s.seq++
+	heap.Push(&s.queue, it)
+	return Handle{item: it}
+}
+
+// After schedules ev to fire delay time units from now. Negative delays
+// panic.
+func (s *Simulator) After(delay Time, ev Event) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %g", delay))
+	}
+	return s.At(s.now+delay, ev)
+}
+
+// AtFunc is shorthand for At with an EventFunc.
+func (s *Simulator) AtFunc(at Time, f func(sim *Simulator)) Handle {
+	return s.At(at, EventFunc(f))
+}
+
+// AfterFunc is shorthand for After with an EventFunc.
+func (s *Simulator) AfterFunc(delay Time, f func(sim *Simulator)) Handle {
+	return s.After(delay, EventFunc(f))
+}
+
+// Cancel marks the event behind h so that it will not fire. Cancelling an
+// already-fired or already-cancelled event is a no-op. Returns whether the
+// event was actually cancelled by this call.
+func (s *Simulator) Cancel(h Handle) bool {
+	if h.item == nil || h.item.cancelled || h.item.index == -1 {
+		return false
+	}
+	h.item.cancelled = true
+	return true
+}
+
+// Stop makes Run return after the currently firing event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop was called.
+func (s *Simulator) Stopped() bool { return s.stopped }
+
+// Step fires the single next event, advancing the clock. It returns false
+// when the queue is empty (skipping over cancelled entries).
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		it := heap.Pop(&s.queue).(*item)
+		if it.cancelled {
+			continue
+		}
+		s.now = it.at
+		s.fired++
+		it.ev.Fire(s)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, Stop is called, or MaxEvents
+// is exceeded (which panics — it indicates a scheduling loop). It returns
+// the final clock value.
+func (s *Simulator) Run() Time {
+	for !s.stopped {
+		if s.MaxEvents > 0 && s.fired >= s.MaxEvents {
+			panic(fmt.Sprintf("des: MaxEvents (%d) exceeded at t=%g — likely a scheduling loop", s.MaxEvents, s.now))
+		}
+		if !s.Step() {
+			break
+		}
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= deadline, leaving later
+// events queued, and advances the clock to exactly deadline (even if the
+// queue drains earlier). It returns the number of events fired.
+func (s *Simulator) RunUntil(deadline Time) uint64 {
+	if deadline < s.now {
+		panic(fmt.Sprintf("des: RunUntil deadline %g before now %g", deadline, s.now))
+	}
+	start := s.fired
+	for !s.stopped {
+		next, ok := s.peekTime()
+		if !ok || next > deadline {
+			break
+		}
+		if s.MaxEvents > 0 && s.fired >= s.MaxEvents {
+			panic(fmt.Sprintf("des: MaxEvents (%d) exceeded at t=%g", s.MaxEvents, s.now))
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.fired - start
+}
+
+// peekTime returns the timestamp of the next uncancelled event.
+func (s *Simulator) peekTime() (Time, bool) {
+	for len(s.queue) > 0 {
+		it := s.queue[0]
+		if it.cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return it.at, true
+	}
+	return 0, false
+}
+
+// NextEventTime exposes peekTime for callers that pace external work.
+func (s *Simulator) NextEventTime() (Time, bool) { return s.peekTime() }
+
+// Every schedules fn to run every interval time units, starting one
+// interval from now, until the returned stop function is called or the
+// simulator stops. It is the idiomatic way to express decision intervals
+// and periodic sampling.
+func (s *Simulator) Every(interval Time, fn func(sim *Simulator)) (stop func()) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("des: Every interval must be positive, got %g", interval))
+	}
+	stopped := false
+	var schedule func()
+	schedule = func() {
+		s.AfterFunc(interval, func(sim *Simulator) {
+			if stopped || sim.Stopped() {
+				return
+			}
+			fn(sim)
+			if !stopped && !sim.Stopped() {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() { stopped = true }
+}

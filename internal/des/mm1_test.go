@@ -1,0 +1,136 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"rlsched/internal/rng"
+)
+
+// TestMM1AgainstTheory verifies the event engine against closed-form
+// queueing theory: an M/M/1 queue with arrival rate λ and service rate μ
+// has mean time in system W = 1/(μ−λ). A correct event engine driving a
+// correct queue model must reproduce it; this is the strongest end-to-end
+// check available for the substrate everything else builds on.
+func TestMM1AgainstTheory(t *testing.T) {
+	const (
+		lambda = 0.8
+		mu     = 1.0
+		n      = 200000
+	)
+	r := rng.NewStream(12345, "mm1")
+	sim := New()
+
+	type job struct{ arrival float64 }
+	var (
+		queue      []job
+		busy       bool
+		totalW     float64
+		completed  int
+		finishJob  func(s *Simulator)
+		startIfCan func(s *Simulator)
+	)
+	startIfCan = func(s *Simulator) {
+		if busy || len(queue) == 0 {
+			return
+		}
+		busy = true
+		s.AfterFunc(r.Exp(1/mu), finishJob)
+	}
+	finishJob = func(s *Simulator) {
+		j := queue[0]
+		queue = queue[1:]
+		busy = false
+		totalW += s.Now() - j.arrival
+		completed++
+		startIfCan(s)
+	}
+	var arrive func(s *Simulator)
+	arrivals := 0
+	arrive = func(s *Simulator) {
+		arrivals++
+		queue = append(queue, job{arrival: s.Now()})
+		startIfCan(s)
+		if arrivals < n {
+			s.AfterFunc(r.Exp(1/lambda), arrive)
+		}
+	}
+	sim.AfterFunc(r.Exp(1/lambda), arrive)
+	sim.Run()
+
+	if completed != n {
+		t.Fatalf("completed %d/%d jobs", completed, n)
+	}
+	meanW := totalW / float64(completed)
+	wantW := 1 / (mu - lambda) // = 5 time units at rho = 0.8
+	if math.Abs(meanW-wantW)/wantW > 0.05 {
+		t.Fatalf("M/M/1 mean time in system %.3f, theory %.3f (>5%% off)", meanW, wantW)
+	}
+}
+
+// TestMM1LittleLaw cross-checks Little's law on the same model: the
+// time-averaged number in system L must equal λ·W.
+func TestMM1LittleLaw(t *testing.T) {
+	const (
+		lambda = 0.5
+		mu     = 1.0
+		n      = 100000
+	)
+	r := rng.NewStream(999, "little")
+	sim := New()
+
+	var (
+		queue      int
+		busy       bool
+		inSystem   int
+		areaL      float64
+		lastChange float64
+		totalW     float64
+		arrivalsQ  []float64
+		completed  int
+	)
+	account := func(now float64) {
+		areaL += float64(inSystem) * (now - lastChange)
+		lastChange = now
+	}
+	var finish func(s *Simulator)
+	start := func(s *Simulator) {
+		if busy || queue == 0 {
+			return
+		}
+		busy = true
+		queue--
+		s.AfterFunc(r.Exp(1/mu), finish)
+	}
+	finish = func(s *Simulator) {
+		account(s.Now())
+		busy = false
+		inSystem--
+		totalW += s.Now() - arrivalsQ[completed]
+		completed++
+		start(s)
+	}
+	arrivals := 0
+	var arrive func(s *Simulator)
+	arrive = func(s *Simulator) {
+		account(s.Now())
+		arrivals++
+		inSystem++
+		arrivalsQ = append(arrivalsQ, s.Now())
+		queue++
+		start(s)
+		if arrivals < n {
+			s.AfterFunc(r.Exp(1/lambda), arrive)
+		}
+	}
+	sim.AfterFunc(r.Exp(1/lambda), arrive)
+	end := sim.Run()
+	account(end)
+
+	L := areaL / end
+	W := totalW / float64(completed)
+	effLambda := float64(n) / end
+	if math.Abs(L-effLambda*W)/L > 0.05 {
+		t.Fatalf("Little's law violated: L=%.3f, lambda*W=%.3f", L, effLambda*W)
+	}
+}

@@ -1,0 +1,277 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rlsched/internal/platform"
+	"rlsched/internal/rng"
+)
+
+func makePlatform(t *testing.T) *platform.Platform {
+	t.Helper()
+	return platform.MustGenerate(platform.DefaultGenConfig(), rng.NewStream(5, "en"))
+}
+
+func TestEq5TwoState(t *testing.T) {
+	// 90W peak for 10 units busy + 45W for 5 units idle.
+	got := Eq5(90, 10, 45, 5, 0, 0)
+	if got != 90*10+45*5 {
+		t.Fatalf("Eq5 = %g", got)
+	}
+}
+
+func TestEq5WithSleep(t *testing.T) {
+	got := Eq5(90, 1, 45, 2, 5, 3)
+	if got != 90+90+15 {
+		t.Fatalf("Eq5 with sleep = %g", got)
+	}
+}
+
+func TestEq6Average(t *testing.T) {
+	if got := Eq6([]float64{10, 20, 30}); got != 20 {
+		t.Fatalf("Eq6 = %g", got)
+	}
+	if Eq6(nil) != 0 {
+		t.Fatal("Eq6(nil) should be 0")
+	}
+}
+
+func TestECSSum(t *testing.T) {
+	if got := ECS([]float64{1, 2, 3.5}); got != 6.5 {
+		t.Fatalf("ECS = %g", got)
+	}
+}
+
+func TestTakeMatchesPlatform(t *testing.T) {
+	pl := makePlatform(t)
+	s := Take(pl, 50)
+	if math.Abs(s.Total-pl.TotalEnergy()) > 1e-9 {
+		t.Fatalf("snapshot total %g != platform %g", s.Total, pl.TotalEnergy())
+	}
+	if len(s.NodeEnergy) != pl.NumNodes() {
+		t.Fatalf("snapshot covers %d nodes, want %d", len(s.NodeEnergy), pl.NumNodes())
+	}
+	sum := 0.0
+	for _, e := range s.NodeEnergy {
+		sum += e
+	}
+	if math.Abs(sum-s.Total) > 1e-9 {
+		t.Fatalf("node energies sum %g != total %g", sum, s.Total)
+	}
+}
+
+func TestDeltaMonotonicity(t *testing.T) {
+	pl := makePlatform(t)
+	s1 := Take(pl, 10)
+	s2 := Take(pl, 30)
+	d := Delta(s1, s2)
+	if d.Total <= 0 {
+		t.Fatal("idle platform must consume energy between snapshots")
+	}
+	for id, e := range d.NodeEnergy {
+		if e < 0 {
+			t.Fatalf("node %d consumed negative energy %g", id, e)
+		}
+	}
+}
+
+func TestDeltaOutOfOrderPanics(t *testing.T) {
+	pl := makePlatform(t)
+	s1 := Take(pl, 10)
+	s2 := Take(pl, 30)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-order Delta")
+		}
+	}()
+	Delta(s2, s1)
+}
+
+func TestAccountantSeries(t *testing.T) {
+	pl := makePlatform(t)
+	a := NewAccountant(pl)
+	for _, at := range []float64{10, 20, 30, 40} {
+		a.Sample(at)
+	}
+	samples := a.Samples()
+	if len(samples) != 5 { // initial + 4
+		t.Fatalf("got %d samples, want 5", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Total < samples[i-1].Total {
+			t.Fatalf("cumulative energy decreased at sample %d", i)
+		}
+	}
+	if a.TotalEnergy() != samples[4].Total {
+		t.Fatal("TotalEnergy disagrees with last sample")
+	}
+}
+
+func TestEnergyBetweenInterpolation(t *testing.T) {
+	pl := makePlatform(t)
+	a := NewAccountant(pl)
+	a.Sample(100)
+	// Idle platform: energy is linear in time, so the interpolated half
+	// interval is exactly half the total.
+	half := a.EnergyBetween(0, 50)
+	full := a.EnergyBetween(0, 100)
+	if math.Abs(half*2-full) > 1e-6 {
+		t.Fatalf("interpolated half %g vs full %g", half, full)
+	}
+	// Clamped beyond range.
+	if got := a.EnergyBetween(100, 200); got != 0 {
+		t.Fatalf("beyond-range delta %g, want 0", got)
+	}
+}
+
+func TestEnergyBetweenEmpty(t *testing.T) {
+	a := &Accountant{}
+	if a.EnergyBetween(0, 10) != 0 {
+		t.Fatal("empty accountant should report 0")
+	}
+	if a.TotalEnergy() != 0 {
+		t.Fatal("empty accountant total should be 0")
+	}
+	if a.PerNode() != nil {
+		t.Fatal("empty accountant PerNode should be nil")
+	}
+}
+
+func TestPerNodeSorted(t *testing.T) {
+	pl := makePlatform(t)
+	a := NewAccountant(pl)
+	a.Sample(25)
+	per := a.PerNode()
+	if len(per) != pl.NumNodes() {
+		t.Fatalf("PerNode covers %d nodes, want %d", len(per), pl.NumNodes())
+	}
+	for i := 1; i < len(per); i++ {
+		if per[i-1].NodeID >= per[i].NodeID {
+			t.Fatal("PerNode not sorted by node ID")
+		}
+	}
+}
+
+func TestComputeEfficiencyIdlePlatform(t *testing.T) {
+	pl := makePlatform(t)
+	eff := ComputeEfficiency(pl, 100, 0)
+	if eff.EnergyPerTask != 0 {
+		t.Fatal("zero completions must give zero energy per task")
+	}
+	if eff.UtilizationRate != 0 {
+		t.Fatalf("idle platform utilisation %g", eff.UtilizationRate)
+	}
+	if math.Abs(eff.IdleFraction-1) > 1e-9 {
+		t.Fatalf("idle platform idle fraction %g, want 1", eff.IdleFraction)
+	}
+}
+
+func TestComputeEfficiencyWithBusyTime(t *testing.T) {
+	pl := makePlatform(t)
+	// Run one processor busy for the whole window.
+	p := pl.Processors()[0]
+	p.SetState(platform.StateBusy, 0)
+	eff := ComputeEfficiency(pl, 100, 10)
+	if eff.EnergyPerTask <= 0 {
+		t.Fatal("energy per task must be positive")
+	}
+	if eff.UtilizationRate <= 0 {
+		t.Fatal("utilisation must be positive with a busy processor")
+	}
+	if eff.IdleFraction >= 1 {
+		t.Fatalf("idle fraction %g must drop below 1", eff.IdleFraction)
+	}
+}
+
+// Property: Eq5 is linear — doubling all dwell times doubles the energy.
+func TestQuickEq5Linearity(t *testing.T) {
+	f := func(b, i, s uint16) bool {
+		bt, it, st := float64(b), float64(i), float64(s)
+		one := Eq5(90, bt, 45, it, 5, st)
+		two := Eq5(90, 2*bt, 45, 2*it, 5, 2*st)
+		return math.Abs(two-2*one) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Eq6 lies between min and max of its inputs.
+func TestQuickEq6Bounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pp := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			pp[i] = float64(r)
+			lo = math.Min(lo, pp[i])
+			hi = math.Max(hi, pp[i])
+		}
+		e := Eq6(pp)
+		return e >= lo-1e-9 && e <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cumulative snapshots never decrease regardless of sampling
+// pattern.
+func TestQuickSnapshotMonotone(t *testing.T) {
+	pl := platform.MustGenerate(platform.DefaultGenConfig(), rng.NewStream(77, "q"))
+	a := NewAccountant(pl)
+	now := 0.0
+	f := func(step uint8) bool {
+		now += float64(step) / 8
+		before := a.TotalEnergy()
+		s := a.Sample(now)
+		return s.Total >= before-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTakeSnapshot(b *testing.B) {
+	pl := platform.MustGenerate(platform.DefaultGenConfig(), rng.NewStream(1, "bench"))
+	for i := 0; i < b.N; i++ {
+		Take(pl, float64(i))
+	}
+}
+
+func TestPowerSeries(t *testing.T) {
+	pl := makePlatform(t)
+	a := NewAccountant(pl)
+	a.Sample(10)
+	// Make one processor busy for the next interval, raising the draw.
+	p := pl.Processors()[0]
+	p.SetState(platform.StateBusy, 10)
+	a.Sample(20)
+	series := a.PowerSeries()
+	if len(series) != 2 {
+		t.Fatalf("series length %d, want 2", len(series))
+	}
+	if series[0].At != 10 || series[1].At != 20 {
+		t.Fatalf("sample times %g/%g", series[0].At, series[1].At)
+	}
+	if series[1].Watts <= series[0].Watts {
+		t.Fatalf("busy interval draw %g not above idle %g", series[1].Watts, series[0].Watts)
+	}
+	if got := a.PeakPower(); got != series[1].Watts {
+		t.Fatalf("peak %g, want %g", got, series[1].Watts)
+	}
+}
+
+func TestPowerSeriesEmpty(t *testing.T) {
+	a := &Accountant{}
+	if a.PowerSeries() != nil {
+		t.Fatal("empty accountant should give nil series")
+	}
+	if a.PeakPower() != 0 {
+		t.Fatal("empty accountant peak should be 0")
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rlsched/internal/baselines/cooperative"
+	"rlsched/internal/core"
+	"rlsched/internal/sched"
+	"rlsched/internal/stats"
+)
+
+// AblationArm is one configuration variant measured at the heavy load
+// point: a fresh policy constructor plus optional profile mutations.
+type AblationArm struct {
+	// Name labels the arm in reports.
+	Name string
+	// Policy constructs a fresh policy instance per replication.
+	Policy func() (sched.Policy, error)
+	// Mutate adjusts the profile (engine/platform knobs) for this arm;
+	// nil leaves the profile unchanged.
+	Mutate func(*Profile)
+}
+
+// AblationResult is one arm's aggregate outcome.
+type AblationResult struct {
+	Arm     string
+	AveRT   stats.Summary
+	ECS     stats.Summary // in millions
+	Success stats.Summary
+}
+
+// adaptiveArm builds an Adaptive-RL arm with a mutated configuration.
+func adaptiveArm(name string, mutate func(*core.Config)) AblationArm {
+	return AblationArm{
+		Name: name,
+		Policy: func() (sched.Policy, error) {
+			cfg := core.DefaultConfig()
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			return core.New(cfg)
+		},
+	}
+}
+
+// DefaultAblationArms returns the design-choice ablations DESIGN.md calls
+// out: the full system, each learning component removed in turn, the
+// engine-mechanism switches, and the reference policies.
+func DefaultAblationArms() []AblationArm {
+	return []AblationArm{
+		adaptiveArm("adaptive-rl (full)", nil),
+		adaptiveArm("- shared memory", func(c *core.Config) { c.UseSharedMemory = false }),
+		adaptiveArm("- error feedback", func(c *core.Config) { c.UseErrorFeedback = false }),
+		adaptiveArm("- neural net", func(c *core.Config) { c.UseNeuralNet = false }),
+		{
+			Name:   "- split process",
+			Policy: func() (sched.Policy, error) { return core.NewDefault(), nil },
+			Mutate: func(p *Profile) { p.Engine.DisableSplit = true },
+		},
+		{
+			Name:   "+ speed-aware dispatch",
+			Policy: func() (sched.Policy, error) { return core.NewDefault(), nil },
+			Mutate: func(p *Profile) { p.Engine.SpeedAwareDispatch = true },
+		},
+		{
+			Name:   "greedy (no learning)",
+			Policy: func() (sched.Policy, error) { return sched.NewGreedy(), nil },
+		},
+		{
+			Name:   "cooperative game [19]",
+			Policy: func() (sched.Policy, error) { return cooperative.NewDefault(), nil },
+		},
+		{
+			Name:   "round-robin",
+			Policy: func() (sched.Policy, error) { return sched.NewRoundRobin(), nil },
+		},
+		{
+			Name:   "random",
+			Policy: func() (sched.Policy, error) { return sched.NewRandom(), nil },
+		},
+	}
+}
+
+// RunAblations executes every arm at the profile's heavy task count,
+// averaged over the profile's replications.
+func RunAblations(p Profile, arms []AblationArm) ([]AblationResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]AblationResult, 0, len(arms))
+	for _, arm := range arms {
+		prof := p
+		if arm.Mutate != nil {
+			arm.Mutate(&prof)
+		}
+		var avert, ecs, success stats.Accumulator
+		for k := 0; k < prof.Replications; k++ {
+			policy, err := arm.Policy()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: arm %q: %w", arm.Name, err)
+			}
+			spec := RunSpec{Policy: AdaptiveRL, NumTasks: prof.HeavyTasks, Seed: prof.Seed + uint64(k)}
+			res, err := RunWith(prof, spec, policy)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: arm %q: %w", arm.Name, err)
+			}
+			avert.Add(res.AveRT)
+			ecs.Add(res.ECS / 1e6)
+			success.Add(res.SuccessRate)
+		}
+		out = append(out, AblationResult{
+			Arm:     arm.Name,
+			AveRT:   avert.Summarize(),
+			ECS:     ecs.Summarize(),
+			Success: success.Summarize(),
+		})
+	}
+	return out, nil
+}

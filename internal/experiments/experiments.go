@@ -1,0 +1,279 @@
+// Package experiments defines the paper's evaluation (§V) as runnable
+// experiment specifications: one constructor per figure (7-12), each
+// returning the same series the paper plots.
+//
+// Scaling note (documented in EXPERIMENTS.md): the paper's stated
+// parameters are internally inconsistent — a platform of 25-200 multi-
+// processor nodes cannot reach 60-90% utilisation (Figures 9/10) from a
+// single Poisson stream with a 5-time-unit inter-arrival mean, nor can
+// response times rise 7x between 500 and 3000 tasks (Figure 7) unless the
+// task count varies within a fixed observation period (which is exactly
+// how Experiment 2 defines lightly/heavily loaded states: "the number of
+// incoming tasks during a particular period of time"). The default profile
+// therefore fixes the observation period so that N=500 reproduces the
+// stated 5-unit inter-arrival mean, scales task sizes so that N=3000
+// saturates the platform at ~90% offered load, and sizes the platform at
+// the small end of the paper's ranges. All knobs are explicit in Profile.
+package experiments
+
+import (
+	"fmt"
+
+	"rlsched/internal/baselines/cooperative"
+	"rlsched/internal/baselines/onlinerl"
+	"rlsched/internal/baselines/predictive"
+	"rlsched/internal/baselines/qplus"
+	"rlsched/internal/core"
+	"rlsched/internal/platform"
+	"rlsched/internal/rng"
+	"rlsched/internal/sched"
+	"rlsched/internal/stats"
+	"rlsched/internal/workload"
+)
+
+// PolicyName identifies one of the four learning approaches of
+// Experiment 1.
+type PolicyName string
+
+// The four policies compared in §V.B.
+const (
+	AdaptiveRL PolicyName = "adaptive-rl"
+	OnlineRL   PolicyName = "online-rl"
+	QPlus      PolicyName = "q+-learning"
+	Predictive PolicyName = "prediction-based"
+	// Greedy is the non-learning reference policy (not part of the
+	// paper's comparison; used by ablation benches).
+	Greedy PolicyName = "greedy"
+	// RoundRobin and Random are naive lower-bound references.
+	RoundRobin PolicyName = "round-robin"
+	Random     PolicyName = "random"
+	// Cooperative is the game-theoretic strategy the paper's related work
+	// cites ([19]); an extension to the comparison set.
+	Cooperative PolicyName = "cooperative-game"
+)
+
+// AllPolicies lists the Experiment-1 comparison set in the paper's order.
+var AllPolicies = []PolicyName{AdaptiveRL, OnlineRL, QPlus, Predictive}
+
+// NewPolicy constructs a fresh policy instance by name.
+func NewPolicy(name PolicyName) (sched.Policy, error) {
+	switch name {
+	case AdaptiveRL:
+		return core.NewDefault(), nil
+	case Greedy:
+		return sched.NewGreedy(), nil
+	case RoundRobin:
+		return sched.NewRoundRobin(), nil
+	case Random:
+		return sched.NewRandom(), nil
+	case Cooperative:
+		return cooperative.NewDefault(), nil
+	case OnlineRL:
+		return onlinerl.NewDefault(), nil
+	case QPlus:
+		return qplus.NewDefault(), nil
+	case Predictive:
+		return predictive.NewDefault(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %q", name)
+	}
+}
+
+// Profile bundles every knob of an experiment campaign.
+type Profile struct {
+	// Platform is the generator configuration (§V.A ranges).
+	Platform platform.GenConfig
+	// ObservationPeriod is the arrival span in time units. The mean
+	// inter-arrival time for N tasks is ObservationPeriod / N, so N=500
+	// yields the paper's stated mean of 5 and larger N raises the load
+	// (§V.B Experiment 2's definition of lightly/heavily loaded).
+	ObservationPeriod float64
+	// SizeScale multiplies the §V.A task-size range [600, 7200] MI so the
+	// stated workload saturates the scaled platform at the heavy end.
+	SizeScale float64
+	// Mix sets the priority probabilities (§V.A: varied per experiment).
+	Mix workload.PriorityMix
+	// Engine is the scheduling-framework configuration.
+	Engine sched.Config
+	// Replications averages each point over this many seeds.
+	Replications int
+	// Seed is the base seed; replication k uses Seed+k.
+	Seed uint64
+	// LightTasks and HeavyTasks define the Experiment 2/3 load states.
+	LightTasks, HeavyTasks int
+}
+
+// DefaultProfile returns the tuned defaults used for every figure.
+func DefaultProfile() Profile {
+	pcfg := platform.DefaultGenConfig()
+	pcfg.Sites = 5
+	pcfg.MinNodesPerSite, pcfg.MaxNodesPerSite = 2, 2
+	// §III.C defines exactly two power levels (p_max busy, p_min idle at
+	// ~50% of peak); there is no deep-sleep level in the paper's model.
+	// The sleep state the Q+ baseline drives is therefore configured just
+	// below idle (a C1-style halt), so its decisions play out inside the
+	// paper's energy model rather than inventing a third level.
+	pcfg.SleepPowerW = 40
+	return Profile{
+		Platform:          pcfg,
+		ObservationPeriod: 2500,
+		SizeScale:         5.6,
+		Mix:               workload.DefaultMix(),
+		Engine:            sched.DefaultConfig(),
+		Replications:      3,
+		Seed:              1,
+		LightTasks:        500,
+		HeavyTasks:        3000,
+	}
+}
+
+// Validate checks the profile.
+func (p Profile) Validate() error {
+	if err := p.Platform.Validate(); err != nil {
+		return err
+	}
+	if err := p.Engine.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case p.ObservationPeriod <= 0:
+		return fmt.Errorf("experiments: ObservationPeriod must be positive, got %g", p.ObservationPeriod)
+	case p.SizeScale <= 0:
+		return fmt.Errorf("experiments: SizeScale must be positive, got %g", p.SizeScale)
+	case p.Replications < 1:
+		return fmt.Errorf("experiments: Replications must be >= 1, got %d", p.Replications)
+	case p.LightTasks < 1 || p.HeavyTasks < p.LightTasks:
+		return fmt.Errorf("experiments: invalid light/heavy task counts %d/%d", p.LightTasks, p.HeavyTasks)
+	}
+	return p.Mix.Validate()
+}
+
+// RunSpec is a single simulation point.
+type RunSpec struct {
+	Policy PolicyName
+	// NumTasks is N.
+	NumTasks int
+	// HeterogeneityCV, when positive, overrides the platform's speed
+	// distribution (Experiment 3).
+	HeterogeneityCV float64
+	// Seed for this replication.
+	Seed uint64
+}
+
+// Build constructs the platform and workload for one simulation point
+// without running it, so callers can inspect or reuse the scenario (e.g.
+// to run a custom policy on it via RunWith).
+func Build(p Profile, spec RunSpec) (*platform.Platform, []*workload.Task, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if spec.NumTasks < 1 {
+		return nil, nil, fmt.Errorf("experiments: NumTasks must be >= 1, got %d", spec.NumTasks)
+	}
+	r := scenarioStream(spec)
+	pcfg := p.Platform
+	pcfg.HeterogeneityCV = spec.HeterogeneityCV
+	pl, err := platform.Generate(pcfg, r.Split("platform"))
+	if err != nil {
+		return nil, nil, err
+	}
+	// Deadlines reference the referred slowest resource (§III.A), which
+	// the heterogeneity model pins at the platform's configured minimum
+	// speed, so deadline tightness is comparable across the Experiment 3
+	// sweep. Task sizes scale with the heterogeneous platform's mean
+	// speed so the offered load stays constant across the sweep as well —
+	// otherwise capacity growth, not heterogeneity, would dominate the
+	// trend.
+	loadScale := p.SizeScale * pcfg.MeanSpeed() / p.Platform.MeanSpeed()
+	wcfg := workload.GenConfig{
+		NumTasks:         spec.NumTasks,
+		MeanInterArrival: p.ObservationPeriod / float64(spec.NumTasks),
+		MinSizeMI:        600 * loadScale,
+		MaxSizeMI:        7200 * loadScale,
+		SlowestSpeedMIPS: p.Platform.MinSpeedMIPS,
+		Mix:              p.Mix,
+	}
+	tasks, err := workload.Generate(wcfg, r.Split("workload"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return pl, tasks, nil
+}
+
+// scenarioStream derives the deterministic stream for a run point.
+func scenarioStream(spec RunSpec) *rng.Stream {
+	return rng.NewStream(spec.Seed, fmt.Sprintf("%s-n%d-cv%g", spec.Policy, spec.NumTasks, spec.HeterogeneityCV))
+}
+
+// RunWith executes one simulation point with a caller-supplied policy
+// instance (which must be fresh: policies carry learned state).
+func RunWith(p Profile, spec RunSpec, policy sched.Policy) (sched.Result, error) {
+	pl, tasks, err := Build(p, spec)
+	if err != nil {
+		return sched.Result{}, err
+	}
+	r := scenarioStream(spec)
+	r.Split("platform")
+	r.Split("workload")
+	eng, err := sched.New(p.Engine, pl, tasks, policy, r.Split("engine"))
+	if err != nil {
+		return sched.Result{}, err
+	}
+	return eng.Run(), nil
+}
+
+// Run executes one simulation point under the profile.
+func Run(p Profile, spec RunSpec) (sched.Result, error) {
+	policy, err := NewPolicy(spec.Policy)
+	if err != nil {
+		return sched.Result{}, err
+	}
+	return RunWith(p, spec, policy)
+}
+
+// MustRun is Run that panics on error.
+func MustRun(p Profile, spec RunSpec) sched.Result {
+	res, err := Run(p, spec)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// PointStat aggregates one metric over the profile's replications.
+type PointStat struct {
+	Mean, CI95 float64
+	N          int
+}
+
+// runReplications executes the spec across seeds and reduces each result
+// through extract.
+func runReplications(p Profile, spec RunSpec, extract func(sched.Result) float64) (PointStat, error) {
+	var acc stats.Accumulator
+	for k := 0; k < p.Replications; k++ {
+		s := spec
+		s.Seed = p.Seed + uint64(k)
+		res, err := Run(p, s)
+		if err != nil {
+			return PointStat{}, err
+		}
+		acc.Add(extract(res))
+	}
+	return PointStat{Mean: acc.Mean(), CI95: acc.CI95(), N: acc.N()}, nil
+}
+
+// seriesReplications averages a per-run series (e.g. utilisation by cycle
+// decile) element-wise over replications.
+func seriesReplications(p Profile, spec RunSpec, extract func(sched.Result) []float64) ([]float64, error) {
+	rows := make([][]float64, 0, p.Replications)
+	for k := 0; k < p.Replications; k++ {
+		s := spec
+		s.Seed = p.Seed + uint64(k)
+		res, err := Run(p, s)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, extract(res))
+	}
+	return stats.MeanSeries(rows), nil
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rlsched/internal/sched"
+)
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+	// CI95 holds per-point confidence half-widths when available
+	// (parallel to Y; may be nil for derived series).
+	CI95 []float64
+}
+
+// Figure is a reproduced evaluation figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Expected documents the paper's qualitative shape, printed alongside
+	// the measurement in EXPERIMENTS.md.
+	Expected string
+}
+
+// TaskCounts is the Figure 7/8 sweep (§V.A: 500-3000 tasks).
+var TaskCounts = []int{500, 1000, 1500, 2000, 2500, 3000}
+
+// HeterogeneityLevels is the Figure 11/12 sweep.
+var HeterogeneityLevels = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+
+// CycleFractions is the Figure 9/10 x-axis (% learning cycles).
+var CycleFractions = []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// Figure7 reproduces "Average response time with different learning
+// approaches": AveRT (t units) versus the number of tasks for all four
+// policies.
+func Figure7(p Profile) (Figure, error) {
+	return sweepByPolicy(p, Figure{
+		ID:     "figure7",
+		Title:  "Average response time with different learning approaches",
+		XLabel: "number of tasks",
+		YLabel: "average response time (t units)",
+		Expected: "AveRT grows with N for every policy; Adaptive-RL lowest with ~10% spread " +
+			"at 500 tasks widening as N grows; Online RL second.",
+	}, func(r sched.Result) float64 { return r.AveRT })
+}
+
+// Figure8 reproduces "Average energy consumption with different learning
+// approaches": ECS (millions of watt·time-units) versus the number of
+// tasks for all four policies.
+func Figure8(p Profile) (Figure, error) {
+	return sweepByPolicy(p, Figure{
+		ID:     "figure8",
+		Title:  "Average energy consumption with different learning approaches",
+		XLabel: "number of tasks",
+		YLabel: "energy consumption (in millions)",
+		Expected: "ECS grows with N; Adaptive-RL lowest with Online RL within ~5%; " +
+			"Q+ and Prediction-based noticeably higher.",
+	}, func(r sched.Result) float64 { return r.ECS / 1e6 })
+}
+
+// sweepByPolicy runs the Figure 7/8 sweep shape: every policy across
+// TaskCounts.
+func sweepByPolicy(p Profile, fig Figure, extract func(sched.Result) float64) (Figure, error) {
+	for _, name := range AllPolicies {
+		s := Series{Label: string(name)}
+		for _, n := range TaskCounts {
+			pt, err := runReplications(p, RunSpec{Policy: name, NumTasks: n}, extract)
+			if err != nil {
+				return Figure{}, fmt.Errorf("%s/%s/n=%d: %w", fig.ID, name, n, err)
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, pt.Mean)
+			s.CI95 = append(s.CI95, pt.CI95)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure9 reproduces "Utilisation rate between Adaptive-RL and Online RL
+// in heavily loaded state": windowed utilisation versus % learning cycles
+// at the heavy task count.
+func Figure9(p Profile) (Figure, error) {
+	return utilizationFigure(p, Figure{
+		ID:     "figure9",
+		Title:  "Utilisation rate, Adaptive-RL vs Online RL (heavily loaded)",
+		XLabel: "% learning cycles",
+		YLabel: "utilisation rate",
+		Expected: "Adaptive-RL rises roughly linearly with learning cycles; Online RL stays " +
+			"flat until ~50% of cycles, then rises; both reach >= 0.6 by 100%.",
+	}, p.HeavyTasks, "heavily-loaded")
+}
+
+// Figure10 reproduces the same comparison in the lightly loaded state.
+func Figure10(p Profile) (Figure, error) {
+	return utilizationFigure(p, Figure{
+		ID:     "figure10",
+		Title:  "Utilisation rate, Adaptive-RL vs Online RL (lightly loaded)",
+		XLabel: "% learning cycles",
+		YLabel: "utilisation rate",
+		Expected: "Same ordering at lower absolute utilisation; Online RL's rise is further " +
+			"delayed (~70% of cycles).",
+	}, p.LightTasks, "lightly-loaded")
+}
+
+func utilizationFigure(p Profile, fig Figure, numTasks int, loadLabel string) (Figure, error) {
+	for _, name := range []PolicyName{AdaptiveRL, OnlineRL} {
+		series, err := seriesReplications(p, RunSpec{Policy: name, NumTasks: numTasks},
+			func(r sched.Result) []float64 { return r.UtilWindows })
+		if err != nil {
+			return Figure{}, fmt.Errorf("%s/%s: %w", fig.ID, name, err)
+		}
+		s := Series{Label: fmt.Sprintf("%s (%s)", name, loadLabel)}
+		for i, u := range series {
+			if i < len(CycleFractions) {
+				s.X = append(s.X, CycleFractions[i])
+				s.Y = append(s.Y, u)
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure11 reproduces "Successful rate of Adaptive-RL in lightly- and
+// heavily-loaded states" across resource heterogeneity.
+func Figure11(p Profile) (Figure, error) {
+	return heterogeneityFigure(p, Figure{
+		ID:     "figure11",
+		Title:  "Successful rate of Adaptive-RL vs heterogeneity",
+		XLabel: "heterogeneity of resources",
+		YLabel: "successful rate",
+		Expected: "Above ~0.7 on average; decreases as heterogeneity grows; lightly loaded " +
+			"above heavily loaded.",
+	}, func(r sched.Result) float64 { return r.SuccessRate })
+}
+
+// Figure12 reproduces "Average energy consumption of Adaptive-RL in
+// lightly- and heavily-loaded states" across resource heterogeneity.
+func Figure12(p Profile) (Figure, error) {
+	return heterogeneityFigure(p, Figure{
+		ID:     "figure12",
+		Title:  "Energy consumption of Adaptive-RL vs heterogeneity",
+		XLabel: "heterogeneity of resources",
+		YLabel: "energy consumption (in millions)",
+		Expected: "Roughly flat across heterogeneity for both load states; heavy well above " +
+			"light.",
+	}, func(r sched.Result) float64 { return r.ECS / 1e6 })
+}
+
+func heterogeneityFigure(p Profile, fig Figure, extract func(sched.Result) float64) (Figure, error) {
+	for _, load := range []struct {
+		label string
+		tasks int
+	}{
+		{"heavily-loaded", p.HeavyTasks},
+		{"lightly-loaded", p.LightTasks},
+	} {
+		s := Series{Label: load.label}
+		for _, cv := range HeterogeneityLevels {
+			pt, err := runReplications(p, RunSpec{Policy: AdaptiveRL, NumTasks: load.tasks, HeterogeneityCV: cv}, extract)
+			if err != nil {
+				return Figure{}, fmt.Errorf("%s/%s/cv=%g: %w", fig.ID, load.label, cv, err)
+			}
+			s.X = append(s.X, cv)
+			s.Y = append(s.Y, pt.Mean)
+			s.CI95 = append(s.CI95, pt.CI95)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// FigureByID dispatches a figure constructor by its identifier (7-12).
+func FigureByID(p Profile, id string) (Figure, error) {
+	switch id {
+	case "7", "figure7":
+		return Figure7(p)
+	case "8", "figure8":
+		return Figure8(p)
+	case "9", "figure9":
+		return Figure9(p)
+	case "10", "figure10":
+		return Figure10(p)
+	case "11", "figure11":
+		return Figure11(p)
+	case "12", "figure12":
+		return Figure12(p)
+	default:
+		return Figure{}, fmt.Errorf("experiments: unknown figure %q", id)
+	}
+}
+
+// AllFigureIDs lists the reproducible figures in paper order.
+var AllFigureIDs = []string{"figure7", "figure8", "figure9", "figure10", "figure11", "figure12"}
+
+// All regenerates every figure.
+func All(p Profile) ([]Figure, error) {
+	out := make([]Figure, 0, len(AllFigureIDs))
+	for _, id := range AllFigureIDs {
+		fig, err := FigureByID(p, id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+// Package memory implements the shared long-term learning memory of
+// §III.B/§IV.B: every site agent records its recent learning experiences
+// (bounded to 15 learning cycles per agent) in a store visible to all
+// agents, and agents consult each other's experiences — in particular the
+// action with the maximum learning value l_val — to improve decisions.
+//
+// The store is single-threaded by design: the discrete-event simulation
+// engine serialises all agent activity, so the "communication link between
+// the shared-learning memory and all agents" (assumed contention-free at
+// uniform speed in the paper) is a plain method call here.
+package memory
+
+import (
+	"fmt"
+	"math"
+
+	"rlsched/internal/grouping"
+)
+
+// CapacityPerAgent is the paper's bound: "Each agent is limited to keep
+// and update 15 cycles of its learning experiences in the shared-learning
+// memory" (§III.B).
+const CapacityPerAgent = 15
+
+// State is the observed node/site state vector the agent conditioned its
+// action on: S_c(t) = (Load, q−, PP_1..m) summarised into fixed features.
+type State struct {
+	// Load is the total processing weight queued at the chosen node.
+	Load float64
+	// FreeSlots is q−, the available queue spaces at the chosen node.
+	FreeSlots float64
+	// MeanPower is the mean instantaneous processor power of the node (W).
+	MeanPower float64
+	// SiteLoad is the aggregate queued weight across the agent's site,
+	// normalising for how congested the agent's domain was.
+	SiteLoad float64
+}
+
+// Vector returns the state as a feature slice (for the neural network).
+func (s State) Vector() []float64 {
+	return []float64{s.Load, s.FreeSlots, s.MeanPower, s.SiteLoad}
+}
+
+// distance is a squared Euclidean distance on normalised features.
+func (s State) distance(o State) float64 {
+	d := 0.0
+	a, b := s.Vector(), o.Vector()
+	for i := range a {
+		scale := math.Max(1, math.Max(math.Abs(a[i]), math.Abs(b[i])))
+		diff := (a[i] - b[i]) / scale
+		d += diff * diff
+	}
+	return d
+}
+
+// Similarity maps distance into (0, 1], 1 meaning identical states.
+func (s State) Similarity(o State) float64 {
+	return math.Exp(-s.distance(o))
+}
+
+// Action is the decision the agent took: the grouping parameters of
+// §IV.D.1. (Placement is re-derived from the live node states at decision
+// time, so it is not memorised.)
+type Action struct {
+	// Opnum is the group size the agent targeted.
+	Opnum int
+	// Mode is the merge policy (mixed or identical priority).
+	Mode grouping.Mode
+}
+
+// Experience is one learning cycle's outcome: the (state, action) pair,
+// its dual feedback (reward of Eq. 8, error of Eq. 9), and the resulting
+// learning value l_val = reward/error (Eq. 7).
+type Experience struct {
+	// AgentID identifies the recording agent.
+	AgentID int
+	// Cycle is the agent-local learning-cycle index.
+	Cycle int
+	// At is the simulation time the feedback completed.
+	At     float64
+	State  State
+	Action Action
+	// Reward is rew_val (Eq. 8): deadline hits in the group.
+	Reward float64
+	// Error is err_tg (Eq. 9).
+	Error float64
+}
+
+// ErrorFloor regularises Eq. 7: a null error would make l_val unbounded,
+// letting one lucky perfect-fit group (often a singleton) dominate every
+// remembered experience regardless of its reward. Flooring the error keeps
+// the reward term — the paper's performance signal — commensurate with the
+// energy-fit term. Typical err_tg values in this system are 0.3-1.5, so
+// the floor binds only near-perfect fits.
+const ErrorFloor = 0.25
+
+// LVal computes Eq. 7, l_val = reward/error, with the error floored at
+// ErrorFloor (infinite or NaN errors yield zero value).
+func (e Experience) LVal() float64 {
+	err := e.Error
+	if math.IsInf(err, 1) || math.IsNaN(err) {
+		return 0
+	}
+	if err < ErrorFloor {
+		err = ErrorFloor
+	}
+	return e.Reward / err
+}
+
+// Shared is the shared learning memory: a bounded ring of experiences per
+// agent, plus cheap aggregate counters.
+type Shared struct {
+	capacity int
+	perAgent map[int][]Experience
+	total    uint64
+}
+
+// NewShared creates a memory with the paper's per-agent capacity.
+func NewShared() *Shared { return NewSharedWithCapacity(CapacityPerAgent) }
+
+// NewSharedWithCapacity allows tests and ablations to vary the bound.
+// Capacity must be positive.
+func NewSharedWithCapacity(capacity int) *Shared {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("memory: capacity must be positive, got %d", capacity))
+	}
+	return &Shared{capacity: capacity, perAgent: make(map[int][]Experience)}
+}
+
+// Capacity returns the per-agent bound.
+func (m *Shared) Capacity() int { return m.capacity }
+
+// Record stores an experience, evicting the agent's oldest entry when the
+// per-agent bound is reached.
+func (m *Shared) Record(e Experience) {
+	ring := m.perAgent[e.AgentID]
+	if len(ring) >= m.capacity {
+		copy(ring, ring[1:])
+		ring = ring[:len(ring)-1]
+	}
+	m.perAgent[e.AgentID] = append(ring, e)
+	m.total++
+}
+
+// TotalRecorded returns the lifetime count of recorded experiences
+// (including evicted ones) — the basis for shared exploration decay: the
+// more collective experience exists, the less the agents explore.
+func (m *Shared) TotalRecorded() uint64 { return m.total }
+
+// Len returns the number of currently retained experiences.
+func (m *Shared) Len() int {
+	n := 0
+	for _, ring := range m.perAgent {
+		n += len(ring)
+	}
+	return n
+}
+
+// Agents returns the number of agents that have recorded at least once.
+func (m *Shared) Agents() int { return len(m.perAgent) }
+
+// ForAgent returns the retained experiences of one agent, oldest first.
+// The returned slice is the internal ring; callers must not mutate it.
+func (m *Shared) ForAgent(id int) []Experience { return m.perAgent[id] }
+
+// Best returns the retained experience with the maximum learning value
+// across all agents — the lookup the paper prescribes when an agent's
+// reward regresses ("the agent immediately checks and learns the actions
+// from the shared-learning memory — considering the action with the
+// maximum learning value", §IV.C). ok is false when the memory is empty.
+func (m *Shared) Best() (Experience, bool) {
+	var best Experience
+	bestV := math.Inf(-1)
+	found := false
+	for _, ring := range m.perAgent {
+		for _, e := range ring {
+			if v := e.LVal(); v > bestV || (!found && v == bestV) {
+				best, bestV, found = e, v, true
+			}
+		}
+	}
+	return best, found
+}
+
+// BestFor returns the experience maximising similarity-weighted learning
+// value for the given state: sim(state)·l_val. This lets agents prefer
+// remembered actions taken under circumstances like the present one.
+func (m *Shared) BestFor(s State) (Experience, bool) {
+	var best Experience
+	bestV := math.Inf(-1)
+	found := false
+	for _, ring := range m.perAgent {
+		for _, e := range ring {
+			if v := e.State.Similarity(s) * e.LVal(); v > bestV || (!found && v == bestV) {
+				best, bestV, found = e, v, true
+			}
+		}
+	}
+	return best, found
+}
+
+// BestAction is BestFor restricted to the action, with a default when
+// memory is empty.
+func (m *Shared) BestAction(s State, def Action) Action {
+	if e, ok := m.BestFor(s); ok {
+		return e.Action
+	}
+	return def
+}
+
+// MeanLVal returns the average learning value over retained experiences
+// (0 when empty) — a convergence indicator used by reports.
+func (m *Shared) MeanLVal() float64 {
+	sum, n := 0.0, 0
+	for _, ring := range m.perAgent {
+		for _, e := range ring {
+			sum += e.LVal()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

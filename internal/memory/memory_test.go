@@ -1,0 +1,254 @@
+package memory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rlsched/internal/grouping"
+)
+
+func exp(agent, cycle int, reward, errv float64) Experience {
+	return Experience{
+		AgentID: agent, Cycle: cycle, Reward: reward, Error: errv,
+		Action: Action{Opnum: cycle%5 + 1, Mode: grouping.ModeMixed},
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	m := NewShared()
+	for i := 0; i < 40; i++ {
+		m.Record(exp(1, i, float64(i), 1))
+	}
+	ring := m.ForAgent(1)
+	if len(ring) != CapacityPerAgent {
+		t.Fatalf("retained %d experiences, want %d", len(ring), CapacityPerAgent)
+	}
+	if ring[0].Cycle != 40-CapacityPerAgent {
+		t.Fatalf("oldest retained cycle %d, want %d", ring[0].Cycle, 40-CapacityPerAgent)
+	}
+	if ring[len(ring)-1].Cycle != 39 {
+		t.Fatalf("newest retained cycle %d, want 39", ring[len(ring)-1].Cycle)
+	}
+	if m.TotalRecorded() != 40 {
+		t.Fatalf("TotalRecorded %d, want 40", m.TotalRecorded())
+	}
+	if m.Len() != CapacityPerAgent {
+		t.Fatalf("Len %d, want %d", m.Len(), CapacityPerAgent)
+	}
+}
+
+func TestPerAgentIsolation(t *testing.T) {
+	m := NewShared()
+	m.Record(exp(1, 0, 5, 1))
+	m.Record(exp(2, 0, 7, 1))
+	if len(m.ForAgent(1)) != 1 || len(m.ForAgent(2)) != 1 {
+		t.Fatal("agents should have one experience each")
+	}
+	if m.Agents() != 2 {
+		t.Fatalf("Agents = %d, want 2", m.Agents())
+	}
+}
+
+func TestBestAcrossAgents(t *testing.T) {
+	m := NewShared()
+	m.Record(exp(1, 0, 5, 1))  // l_val 5
+	m.Record(exp(2, 0, 9, 1))  // l_val 9 <- best
+	m.Record(exp(3, 0, 20, 4)) // l_val 5
+	best, ok := m.Best()
+	if !ok || best.AgentID != 2 {
+		t.Fatalf("Best = agent %d (ok=%v), want agent 2", best.AgentID, ok)
+	}
+}
+
+func TestBestEmpty(t *testing.T) {
+	m := NewShared()
+	if _, ok := m.Best(); ok {
+		t.Fatal("empty memory must report no best")
+	}
+	if _, ok := m.BestFor(State{}); ok {
+		t.Fatal("empty memory must report no BestFor")
+	}
+}
+
+func TestLValEq7(t *testing.T) {
+	e := Experience{Reward: 6, Error: 2}
+	if got := e.LVal(); got != 3 {
+		t.Fatalf("LVal = %g, want 3", got)
+	}
+}
+
+func TestLValNullErrorFloored(t *testing.T) {
+	perfect := Experience{Reward: 4, Error: 0}
+	imperfect := Experience{Reward: 4, Error: 0.5}
+	if perfect.LVal() <= imperfect.LVal() {
+		t.Fatal("null error must dominate any imperfect fit at equal reward")
+	}
+	if math.IsInf(perfect.LVal(), 1) {
+		t.Fatal("LVal must stay finite")
+	}
+}
+
+func TestLValInfiniteErrorIsWorthless(t *testing.T) {
+	e := Experience{Reward: 10, Error: math.Inf(1)}
+	if e.LVal() != 0 {
+		t.Fatalf("infinite error should zero the learning value, got %g", e.LVal())
+	}
+}
+
+func TestBestForPrefersSimilarStates(t *testing.T) {
+	m := NewShared()
+	near := exp(1, 0, 5, 1)
+	near.State = State{Load: 10, FreeSlots: 2, MeanPower: 60, SiteLoad: 30}
+	far := exp(2, 0, 6, 1) // slightly higher l_val but dissimilar state
+	far.State = State{Load: 1000, FreeSlots: 0, MeanPower: 95, SiteLoad: 5000}
+	m.Record(near)
+	m.Record(far)
+	query := State{Load: 11, FreeSlots: 2, MeanPower: 61, SiteLoad: 31}
+	best, ok := m.BestFor(query)
+	if !ok || best.AgentID != 1 {
+		t.Fatalf("BestFor chose agent %d, want the similar-state agent 1", best.AgentID)
+	}
+}
+
+func TestBestActionDefault(t *testing.T) {
+	m := NewShared()
+	def := Action{Opnum: 3, Mode: grouping.ModeIdentical}
+	if got := m.BestAction(State{}, def); got != def {
+		t.Fatalf("BestAction on empty memory = %+v, want default", got)
+	}
+	rec := exp(1, 0, 9, 1)
+	rec.Action = Action{Opnum: 5, Mode: grouping.ModeMixed}
+	m.Record(rec)
+	if got := m.BestAction(State{}, def); got != rec.Action {
+		t.Fatalf("BestAction = %+v, want %+v", got, rec.Action)
+	}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	a := State{Load: 5, FreeSlots: 3, MeanPower: 70, SiteLoad: 20}
+	if s := a.Similarity(a); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("self-similarity %g, want 1", s)
+	}
+	b := State{Load: 500, FreeSlots: 0, MeanPower: 95, SiteLoad: 2000}
+	if a.Similarity(b) >= a.Similarity(a) {
+		t.Fatal("dissimilar state must score below identical state")
+	}
+	if a.Similarity(b) <= 0 {
+		t.Fatal("similarity must stay positive")
+	}
+}
+
+func TestSimilaritySymmetry(t *testing.T) {
+	a := State{Load: 5, FreeSlots: 3, MeanPower: 70, SiteLoad: 20}
+	b := State{Load: 8, FreeSlots: 1, MeanPower: 50, SiteLoad: 90}
+	if math.Abs(a.Similarity(b)-b.Similarity(a)) > 1e-12 {
+		t.Fatal("similarity not symmetric")
+	}
+}
+
+func TestMeanLVal(t *testing.T) {
+	m := NewShared()
+	if m.MeanLVal() != 0 {
+		t.Fatal("empty memory mean l_val should be 0")
+	}
+	m.Record(exp(1, 0, 4, 1))
+	m.Record(exp(1, 1, 8, 1))
+	if got := m.MeanLVal(); got != 6 {
+		t.Fatalf("MeanLVal = %g, want 6", got)
+	}
+}
+
+func TestCustomCapacity(t *testing.T) {
+	m := NewSharedWithCapacity(2)
+	for i := 0; i < 5; i++ {
+		m.Record(exp(1, i, 1, 1))
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive capacity")
+		}
+	}()
+	NewSharedWithCapacity(0)
+}
+
+func TestStateVectorLength(t *testing.T) {
+	v := State{Load: 1, FreeSlots: 2, MeanPower: 3, SiteLoad: 4}.Vector()
+	want := []float64{1, 2, 3, 4}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Vector = %v", v)
+		}
+	}
+}
+
+// Property: the per-agent bound holds for any recording sequence, and the
+// retained entries are always the most recent ones in order.
+func TestQuickBoundAndRecency(t *testing.T) {
+	f := func(agents []uint8) bool {
+		m := NewShared()
+		counts := map[int]int{}
+		for _, a := range agents {
+			id := int(a % 4)
+			m.Record(exp(id, counts[id], 1, 1))
+			counts[id]++
+		}
+		for id, total := range counts {
+			ring := m.ForAgent(id)
+			if len(ring) > CapacityPerAgent {
+				return false
+			}
+			wantFirst := total - len(ring)
+			for k, e := range ring {
+				if e.Cycle != wantFirst+k {
+					return false
+				}
+			}
+		}
+		return m.TotalRecorded() == uint64(len(agents))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Best always returns the maximum l_val over retained entries.
+func TestQuickBestIsMax(t *testing.T) {
+	f := func(rewards []uint8) bool {
+		if len(rewards) == 0 {
+			return true
+		}
+		m := NewShared()
+		maxV := math.Inf(-1)
+		for i, r := range rewards {
+			e := exp(i%3, i, float64(r), 1)
+			m.Record(e)
+		}
+		// Recompute max over what is retained.
+		for id := 0; id < 3; id++ {
+			for _, e := range m.ForAgent(id) {
+				if e.LVal() > maxV {
+					maxV = e.LVal()
+				}
+			}
+		}
+		best, ok := m.Best()
+		return ok && best.LVal() == maxV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRecordAndBest(b *testing.B) {
+	m := NewShared()
+	for i := 0; i < b.N; i++ {
+		m.Record(exp(i%8, i, float64(i%17), float64(i%5)+0.1))
+		if i%10 == 0 {
+			m.Best()
+		}
+	}
+}

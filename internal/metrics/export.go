@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Record export: per-task and per-group observations serialise to CSV so
+// runs can be analysed outside the simulator (spreadsheets, notebooks).
+
+// WriteTaskRecords emits one row per completed task:
+// id,priority,response_time,wait_time,met_deadline,finished_at.
+func (c *Collector) WriteTaskRecords(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "priority", "response_time", "wait_time", "met_deadline", "finished_at"}); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for _, t := range c.tasks {
+		rec := []string{
+			strconv.Itoa(t.ID),
+			t.Priority.String(),
+			formatFloat(t.ResponseTime),
+			formatFloat(t.WaitTime),
+			strconv.FormatBool(t.MetDeadline),
+			formatFloat(t.FinishedAt),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	return nil
+}
+
+// WriteGroupRecords emits one row per completed task group:
+// group_id,agent_id,size,reward,err_tg,l_val,completed_at.
+func (c *Collector) WriteGroupRecords(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"group_id", "agent_id", "size", "reward", "err_tg", "l_val", "completed_at"}); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for _, g := range c.groups {
+		rec := []string{
+			strconv.Itoa(g.GroupID),
+			strconv.Itoa(g.AgentID),
+			strconv.Itoa(g.Size),
+			strconv.Itoa(g.Reward),
+			formatFloat(g.ErrTG),
+			formatFloat(g.LVal),
+			formatFloat(g.CompletedAt),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	return nil
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

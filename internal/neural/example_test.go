@@ -1,0 +1,28 @@
+package neural_test
+
+import (
+	"fmt"
+
+	"rlsched/internal/neural"
+	"rlsched/internal/rng"
+)
+
+// Example trains the value-function approximator on a toy target and
+// checkpoints its weights into a fresh network.
+func Example() {
+	net := neural.MustNew(neural.DefaultConfig(2), rng.NewStream(1, "example"))
+	for i := 0; i < 2000; i++ {
+		net.Train1([]float64{0.5, 0.25}, 0.8)
+	}
+	fitted := net.Predict1([]float64{0.5, 0.25})
+
+	clone := neural.MustNew(neural.DefaultConfig(2), rng.NewStream(99, "other"))
+	if err := clone.SetWeights(net.Weights()); err != nil {
+		panic(err)
+	}
+	fmt.Printf("converged: %v\n", fitted > 0.75 && fitted < 0.85)
+	fmt.Printf("checkpoint identical: %v\n", clone.Predict1([]float64{0.5, 0.25}) == fitted)
+	// Output:
+	// converged: true
+	// checkpoint identical: true
+}

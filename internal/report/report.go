@@ -1,0 +1,252 @@
+// Package report renders experiment figures as aligned text tables, ASCII
+// line charts and CSV, so every figure of the paper can be regenerated and
+// inspected from a terminal without plotting dependencies.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rlsched/internal/experiments"
+)
+
+// Table renders a figure as an aligned table: one row per x value, one
+// column per series.
+func Table(fig experiments.Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(fig.ID), fig.Title)
+	if fig.Expected != "" {
+		fmt.Fprintf(&b, "expected shape: %s\n", fig.Expected)
+	}
+	if len(fig.Series) == 0 {
+		b.WriteString("(no series)\n")
+		return b.String()
+	}
+
+	// Collect the union of x values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range fig.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+
+	headers := []string{fig.XLabel}
+	for _, s := range fig.Series {
+		headers = append(headers, s.Label)
+	}
+	rows := [][]string{headers}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range fig.Series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = trimFloat(s.Y[i])
+					if i < len(s.CI95) && s.CI95[i] > 0 {
+						cell += " ±" + trimFloat(s.CI95[i])
+					}
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(AlignRows(rows, "  "))
+	return b.String()
+}
+
+// trimFloat formats with 4 significant digits, dropping trailing zeros.
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// AlignRows pads each column of rows to its widest cell.
+func AlignRows(rows [][]string, sep string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	cols := 0
+	for _, r := range rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		for i, c := range r {
+			b.WriteString(c)
+			if i < len(r)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+				b.WriteString(sep)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders the figure as long-form CSV (series,x,y,ci95).
+func CSV(fig experiments.Figure) string {
+	var b strings.Builder
+	b.WriteString("series,x,y,ci95\n")
+	for _, s := range fig.Series {
+		for i := range s.X {
+			ci := 0.0
+			if i < len(s.CI95) {
+				ci = s.CI95[i]
+			}
+			fmt.Fprintf(&b, "%s,%g,%g,%g\n", csvEscape(s.Label), s.X[i], s.Y[i], ci)
+		}
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Chart renders a crude ASCII line chart of the figure: one mark per
+// series per x position, on a height×width grid.
+func Chart(fig experiments.Figure, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	marks := "ox+*#@%&"
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range fig.Series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "(empty chart)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range fig.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			r := height - 1 - row
+			if grid[r][col] == ' ' {
+				grid[r][col] = mark
+			} else {
+				grid[r][col] = '*' // collision
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (y: %s in [%s, %s]; x: %s in [%s, %s])\n",
+		fig.Title, fig.YLabel, trimFloat(minY), trimFloat(maxY), fig.XLabel, trimFloat(minX), trimFloat(maxX))
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString("legend:")
+	for si, s := range fig.Series {
+		fmt.Fprintf(&b, " %c=%s", marks[si%len(marks)], s.Label)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Markdown renders the figure as a GitHub-flavoured markdown table, ready
+// for pasting into EXPERIMENTS.md.
+func Markdown(fig experiments.Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", strings.ToUpper(fig.ID), fig.Title)
+	if fig.Expected != "" {
+		fmt.Fprintf(&b, "Expected shape: %s\n\n", fig.Expected)
+	}
+	if len(fig.Series) == 0 {
+		b.WriteString("(no series)\n")
+		return b.String()
+	}
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range fig.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	b.WriteString("| " + fig.XLabel)
+	for _, s := range fig.Series {
+		b.WriteString(" | " + s.Label)
+	}
+	b.WriteString(" |\n|")
+	for i := 0; i <= len(fig.Series); i++ {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, x := range xs {
+		b.WriteString("| " + trimFloat(x))
+		for _, s := range fig.Series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = trimFloat(s.Y[i])
+					if i < len(s.CI95) && s.CI95[i] > 0 {
+						cell += " ±" + trimFloat(s.CI95[i])
+					}
+					break
+				}
+			}
+			b.WriteString(" | " + cell)
+		}
+		b.WriteString(" |\n")
+	}
+	return b.String()
+}
+
+// AblationTable renders ablation results as an aligned table.
+func AblationTable(results []experiments.AblationResult) string {
+	rows := [][]string{{"arm", "AveRT (t units)", "ECS (millions)", "success rate"}}
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Arm,
+			fmt.Sprintf("%.1f ±%.1f", r.AveRT.Mean, r.AveRT.CI95),
+			fmt.Sprintf("%.3f ±%.3f", r.ECS.Mean, r.ECS.CI95),
+			fmt.Sprintf("%.3f ±%.3f", r.Success.Mean, r.Success.CI95),
+		})
+	}
+	return "ABLATIONS (heavy load point)\n" + AlignRows(rows, "  ")
+}

@@ -1,0 +1,170 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"rlsched/internal/experiments"
+)
+
+func sampleFigure() experiments.Figure {
+	return experiments.Figure{
+		ID:       "figure7",
+		Title:    "Average response time",
+		XLabel:   "number of tasks",
+		YLabel:   "AveRT",
+		Expected: "increasing",
+		Series: []experiments.Series{
+			{Label: "adaptive-rl", X: []float64{500, 1000}, Y: []float64{40, 60}, CI95: []float64{1, 2}},
+			{Label: "online-rl", X: []float64{500, 1000}, Y: []float64{45, 90}},
+		},
+	}
+}
+
+func TestTableContainsEverything(t *testing.T) {
+	out := Table(sampleFigure())
+	for _, want := range []string{"FIGURE7", "Average response time", "expected shape", "adaptive-rl", "online-rl", "500", "1000", "40", "90", "±1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableEmptyFigure(t *testing.T) {
+	out := Table(experiments.Figure{ID: "x", Title: "t"})
+	if !strings.Contains(out, "no series") {
+		t.Fatalf("empty figure table:\n%s", out)
+	}
+}
+
+func TestTableAlignsColumns(t *testing.T) {
+	out := Table(sampleFigure())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Data rows: header + 2 rows at the end; columns aligned means each
+	// data line has the series value starting at the same offset.
+	var dataLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "500") || strings.HasPrefix(l, "1000") || strings.HasPrefix(l, "number of tasks") {
+			dataLines = append(dataLines, l)
+		}
+	}
+	if len(dataLines) != 3 {
+		t.Fatalf("expected 3 table lines, got %d:\n%s", len(dataLines), out)
+	}
+	idx := strings.Index(dataLines[0], "adaptive-rl")
+	if idx < 0 {
+		t.Fatal("header missing column")
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	out := CSV(sampleFigure())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "series,x,y,ci95" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("expected 4 data rows, got %d", len(lines)-1)
+	}
+	if lines[1] != "adaptive-rl,500,40,1" {
+		t.Fatalf("row %q", lines[1])
+	}
+	// Missing CI renders as 0.
+	if lines[3] != "online-rl,500,45,0" {
+		t.Fatalf("row %q", lines[3])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	fig := sampleFigure()
+	fig.Series[0].Label = `weird,"label"`
+	out := CSV(fig)
+	if !strings.Contains(out, `"weird,""label"""`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	out := Chart(sampleFigure(), 40, 10)
+	if !strings.Contains(out, "legend:") {
+		t.Fatalf("chart missing legend:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	rows := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") {
+			rows++
+			if len(l) != 42 { // 40 cells + 2 borders
+				t.Fatalf("row width %d: %q", len(l), l)
+			}
+		}
+	}
+	if rows != 10 {
+		t.Fatalf("chart has %d rows, want 10", rows)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatal("series marks missing")
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	if out := Chart(experiments.Figure{}, 40, 10); !strings.Contains(out, "empty chart") {
+		t.Fatalf("empty chart output %q", out)
+	}
+	// Single point and flat series must not divide by zero.
+	fig := experiments.Figure{Series: []experiments.Series{{Label: "a", X: []float64{5}, Y: []float64{1}}}}
+	out := Chart(fig, 40, 10)
+	if !strings.Contains(out, "legend: o=a") {
+		t.Fatalf("single-point chart:\n%s", out)
+	}
+}
+
+func TestChartMinimumDimensionsClamped(t *testing.T) {
+	out := Chart(sampleFigure(), 1, 1)
+	if !strings.Contains(out, "legend:") {
+		t.Fatal("tiny chart did not render")
+	}
+}
+
+func TestAlignRows(t *testing.T) {
+	out := AlignRows([][]string{
+		{"a", "bbbb", "c"},
+		{"aaaa", "b", "cc"},
+	}, " | ")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "a    | bbbb | c" {
+		t.Fatalf("row 0: %q", lines[0])
+	}
+	if lines[1] != "aaaa | b    | cc" {
+		t.Fatalf("row 1: %q", lines[1])
+	}
+	if AlignRows(nil, " ") != "" {
+		t.Fatal("empty rows should render empty")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		500:     "500",
+		0.5:     "0.5",
+		1234.56: "1235",
+		0.12345: "0.1235",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	out := Markdown(sampleFigure())
+	for _, want := range []string{"### FIGURE7", "| number of tasks | adaptive-rl | online-rl |", "|---|---|---|", "| 500 | 40 ±1 | 45 |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	if got := Markdown(experiments.Figure{ID: "x", Title: "t"}); !strings.Contains(got, "no series") {
+		t.Fatalf("empty markdown: %q", got)
+	}
+}

@@ -1,0 +1,868 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"rlsched/internal/des"
+	"rlsched/internal/energy"
+	"rlsched/internal/grouping"
+	"rlsched/internal/memory"
+	"rlsched/internal/metrics"
+	"rlsched/internal/platform"
+	"rlsched/internal/rng"
+	"rlsched/internal/trace"
+	"rlsched/internal/workload"
+)
+
+// Config holds the engine parameters that the paper leaves unspecified;
+// DESIGN.md §2 documents them as chosen-once defaults swept by ablation
+// benches.
+type Config struct {
+	// GroupCloseTimeout is the base deadline for closing a partial merge
+	// buffer, so tail tasks are never stranded. Per-class timeouts are
+	// this base scaled by TimeoutScale.
+	GroupCloseTimeout float64
+	// TimeoutScale scales the close timeout per buffer class: indices
+	// 0..2 are the identical-priority buffers (low/medium/high), index 3
+	// the mixed buffer. Urgent classes close early; patient classes wait
+	// to fill (§IV.D.1).
+	TimeoutScale [4]float64
+	// TickInterval is the decision interval: OnTick cadence and energy
+	// sampling period.
+	TickInterval float64
+	// DisableSplit turns off the split process (§IV.D.2) for ablations.
+	DisableSplit bool
+	// SpeedAwareDispatch makes idle processors be filled fastest-first so
+	// the EDF-first task lands on the fastest available processor. The
+	// paper's model dispatches without speed matching (§IV.D.2 observes
+	// that execution times "still vary according to the processor" a task
+	// happens to run on), so the default is off; enabling it is an
+	// engine-level optimisation measured by an ablation bench.
+	SpeedAwareDispatch bool
+	// MaxEvents guards against scheduling loops (0 = default guard).
+	MaxEvents uint64
+	// DVFSLazy is an extension beyond the paper (after its DVS references
+	// [15][23]): at dispatch, the processor clocks down to the lowest
+	// throttle that still meets the task's absolute deadline (with a 10%
+	// margin), and returns to full speed afterwards. With a superlinear
+	// PowerExponent this trades idle headroom for busy energy. Do not
+	// combine with policies that manage throttles themselves (Online-RL).
+	DVFSLazy bool
+	// FailureMTBF enables failure injection when positive: each processor
+	// fails after an exponentially distributed uptime with this mean
+	// (§I motivates this: overheating causes freezes and frequent
+	// failures). A failed processor draws no power, loses its in-flight
+	// task (which the engine re-executes elsewhere), and returns to
+	// service after RepairTime.
+	FailureMTBF float64
+	// RepairTime is the downtime per failure (only used when FailureMTBF
+	// is positive).
+	RepairTime float64
+	// Tracer, when non-nil, receives structured events at every
+	// scheduling decision point. It is runtime-only state and is not
+	// serialised by the config package.
+	Tracer trace.Tracer `json:"-"`
+}
+
+// DefaultConfig returns the engine defaults.
+func DefaultConfig() Config {
+	return Config{
+		GroupCloseTimeout: 10,
+		TimeoutScale:      [4]float64{4, 2, 0.5, 1}, // low, medium, high, mixed
+		TickInterval:      25,
+	}
+}
+
+// Validate checks the engine configuration.
+func (c Config) Validate() error {
+	if c.GroupCloseTimeout <= 0 {
+		return fmt.Errorf("sched: GroupCloseTimeout must be positive, got %g", c.GroupCloseTimeout)
+	}
+	for i, s := range c.TimeoutScale {
+		if s <= 0 {
+			return fmt.Errorf("sched: TimeoutScale[%d] must be positive, got %g", i, s)
+		}
+	}
+	if c.TickInterval <= 0 {
+		return fmt.Errorf("sched: TickInterval must be positive, got %g", c.TickInterval)
+	}
+	if c.FailureMTBF < 0 {
+		return fmt.Errorf("sched: FailureMTBF must be non-negative, got %g", c.FailureMTBF)
+	}
+	if c.FailureMTBF > 0 && c.RepairTime <= 0 {
+		return fmt.Errorf("sched: RepairTime must be positive when failures are enabled, got %g", c.RepairTime)
+	}
+	return nil
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	// Policy is the policy name.
+	Policy string
+	// Submitted and Completed count tasks; a correct run completes all.
+	Submitted, Completed int
+	// DeadlineHits is Σ δ_i (Eq. 8) over all groups.
+	DeadlineHits int
+	// AveRT is Eq. 4 in time units; MeanWait is its queueing component.
+	AveRT, MeanWait float64
+	// ECS is total energy consumption Σ_c E_c in watt·time-units.
+	ECS float64
+	// SuccessRate is rew_val / N.
+	SuccessRate float64
+	// MeanUtilization is the busy fraction over the whole run.
+	MeanUtilization float64
+	// EndTime is when the last task completed.
+	EndTime float64
+	// UtilWindows is the Figures 9/10 series: utilisation within each
+	// decile of learning cycles.
+	UtilWindows []float64
+	// UtilCumulative is the cumulative variant of the same series.
+	UtilCumulative []float64
+	// MeanGroupSize reports how the adaptive opnum settled.
+	MeanGroupSize float64
+	// MeanGroupLVal is the average learning value of completed groups.
+	MeanGroupLVal float64
+	// Heterogeneity is the platform's realised service CV.
+	Heterogeneity float64
+	// Failures and Restarts count injected processor failures and the
+	// task executions they aborted (each restarted elsewhere).
+	Failures, Restarts int
+	// Efficiency bundles derived energy indicators.
+	Efficiency energy.Efficiency
+
+	// Collector retains per-task/group records for detailed analysis.
+	Collector *metrics.Collector
+}
+
+// Engine wires a platform, a workload and a policy into a discrete-event
+// simulation run.
+type Engine struct {
+	cfg    Config
+	sim    *des.Simulator
+	pl     *platform.Platform
+	policy Policy
+	tasks  []*workload.Task
+
+	agents   []*Agent
+	mem      *memory.Shared
+	acct     *energy.Accountant
+	col      *metrics.Collector
+	ctx      *Context
+	maxOpnum int
+
+	queues     [][]*grouping.Group // by node ID
+	accts      []nodeAcct          // by node ID
+	retries    [][]retryEntry      // by node ID: aborted executions awaiting re-dispatch
+	taskGroup  map[int]*grouping.Group
+	groupAgent map[int]*Agent
+	running    map[int]runningTask // by processor ID
+
+	rngRoute    *rng.Stream
+	rngFail     *rng.Stream
+	siteWeights []float64
+
+	nextGroupID int
+	completed   int
+	failures    int
+	restarts    int
+	arrivalsEnd float64
+	finished    bool
+}
+
+// New builds an engine. The platform must validate; the workload must be
+// non-empty and in arrival order; r seeds the engine's internal streams
+// (routing, policy exploration).
+func New(cfg Config, pl *platform.Platform, tasks []*workload.Task, policy Policy, r *rng.Stream) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("sched: empty workload")
+	}
+	for i := 1; i < len(tasks); i++ {
+		if tasks[i].ArrivalTime < tasks[i-1].ArrivalTime {
+			return nil, fmt.Errorf("sched: workload not in arrival order at index %d", i)
+		}
+	}
+	e := &Engine{
+		cfg:        cfg,
+		sim:        des.New(),
+		pl:         pl,
+		policy:     policy,
+		tasks:      tasks,
+		mem:        memory.NewShared(),
+		col:        metrics.NewCollector(pl.NumProcessors()),
+		maxOpnum:   pl.MaxProcsPerNode(),
+		taskGroup:  make(map[int]*grouping.Group, len(tasks)),
+		groupAgent: make(map[int]*Agent),
+		running:    make(map[int]runningTask),
+		rngRoute:   r.Split("route"),
+		rngFail:    r.Split("failures"),
+	}
+	e.queues = make([][]*grouping.Group, pl.NumNodes())
+	e.accts = make([]nodeAcct, pl.NumNodes())
+	e.retries = make([][]retryEntry, pl.NumNodes())
+	for _, site := range pl.Sites {
+		ag := &Agent{ID: site.ID, Site: site}
+		ag.Merger = grouping.NewMerger(grouping.ModeMixed, e.nextGroup)
+		e.agents = append(e.agents, ag)
+	}
+	// Arrivals are routed to sites proportionally to their aggregate
+	// processing speed: the front-end dispatcher of a PDCS knows each
+	// site's advertised capacity (static), while balancing WITHIN a site
+	// is the agents' job. Uniform routing would swamp slow sites as the
+	// heterogeneity sweep of Experiment 3 widens capacity spreads.
+	e.siteWeights = make([]float64, len(e.agents))
+	for i, ag := range e.agents {
+		for _, n := range ag.Site.Nodes {
+			e.siteWeights[i] += n.TotalSpeed()
+		}
+	}
+	e.ctx = &Context{engine: e, Rand: r.Split("policy"), Memory: e.mem}
+	e.acct = energy.NewAccountant(pl)
+	// Guard: generous bound relative to task count.
+	e.sim.MaxEvents = cfg.MaxEvents
+	if e.sim.MaxEvents == 0 {
+		e.sim.MaxEvents = uint64(len(tasks))*1000 + 1_000_000
+	}
+	e.arrivalsEnd = tasks[len(tasks)-1].ArrivalTime
+	return e, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config, pl *platform.Platform, tasks []*workload.Task, policy Policy, r *rng.Stream) *Engine {
+	e, err := New(cfg, pl, tasks, policy, r)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// emit sends a trace event when tracing is enabled.
+func (e *Engine) emit(level trace.Level, kind string, fields ...trace.Field) {
+	t := e.cfg.Tracer
+	if t == nil || !t.Enabled(level) {
+		return
+	}
+	t.Emit(trace.Event{At: e.sim.Now(), Level: level, Kind: kind, Fields: fields})
+}
+
+func (e *Engine) nextGroup() int {
+	id := e.nextGroupID
+	e.nextGroupID++
+	return id
+}
+
+// Agents returns the engine's agents.
+func (e *Engine) Agents() []*Agent { return e.agents }
+
+// Memory returns the shared learning memory.
+func (e *Engine) Memory() *memory.Shared { return e.mem }
+
+// Run executes the simulation to completion and returns the summary.
+func (e *Engine) Run() Result {
+	e.policy.Init(e.ctx)
+	for _, t := range e.tasks {
+		t := t
+		e.sim.AtFunc(t.ArrivalTime, func(*des.Simulator) { e.onArrival(t) })
+	}
+	e.sim.AfterFunc(e.cfg.GroupCloseTimeout/2, e.houseKeep)
+	e.sim.AfterFunc(e.cfg.TickInterval, e.tick)
+	if e.cfg.FailureMTBF > 0 {
+		for _, n := range e.pl.Nodes() {
+			for _, p := range n.Processors {
+				e.scheduleFailure(n, p)
+			}
+		}
+	}
+	e.sim.Run()
+	if e.completed != len(e.tasks) {
+		panic(fmt.Sprintf("sched: run ended with %d/%d tasks completed (policy %s)",
+			e.completed, len(e.tasks), e.policy.Name()))
+	}
+	return e.buildResult()
+}
+
+func (e *Engine) buildResult() Result {
+	end := e.sim.Now()
+	e.acct.Sample(end)
+	res := Result{
+		Policy:          e.policy.Name(),
+		Submitted:       len(e.tasks),
+		Completed:       e.completed,
+		DeadlineHits:    e.col.DeadlineHits(),
+		AveRT:           e.col.AveRT(),
+		MeanWait:        e.col.MeanWait(),
+		ECS:             e.pl.TotalEnergy(),
+		SuccessRate:     e.col.SuccessRate(len(e.tasks)),
+		MeanUtilization: e.pl.MeanUtilization(),
+		EndTime:         end,
+		UtilWindows:     e.col.UtilizationByCycleFraction(10),
+		UtilCumulative:  e.col.CumulativeUtilizationByCycleFraction(10),
+		MeanGroupSize:   e.col.MeanGroupSize(),
+		MeanGroupLVal:   e.col.MeanGroupLVal(),
+		Heterogeneity:   e.pl.Heterogeneity(),
+		Failures:        e.failures,
+		Restarts:        e.restarts,
+		Efficiency:      energy.ComputeEfficiency(e.pl, end, e.completed),
+		Collector:       e.col,
+	}
+	return res
+}
+
+// onArrival routes a task to a site agent and merges it.
+func (e *Engine) onArrival(t *workload.Task) {
+	ag := e.agents[e.rngRoute.WeightedChoice(e.siteWeights)]
+	e.emit(trace.LevelDebug, "arrival", trace.F("task", t.ID), trace.F("agent", ag.ID), trace.F("prio", t.Priority.String()))
+	action := e.ctx.validateAction(e.policy.ChooseAction(e.ctx, ag, t))
+	ag.Merger.SetMode(action.Mode)
+	if g := ag.Merger.Add(t, action.Opnum, e.sim.Now()); g != nil {
+		e.place(ag, g)
+	}
+}
+
+// houseKeep flushes stale merge buffers and reschedules itself while the
+// run is live.
+func (e *Engine) houseKeep(*des.Simulator) {
+	now := e.sim.Now()
+	var timeouts [4]float64
+	for i, s := range e.cfg.TimeoutScale {
+		timeouts[i] = e.cfg.GroupCloseTimeout * s
+	}
+	for _, ag := range e.agents {
+		for _, g := range ag.Merger.FlushExpired(now, timeouts) {
+			e.place(ag, g)
+		}
+	}
+	if !e.done() {
+		e.sim.AfterFunc(e.cfg.GroupCloseTimeout/4, e.houseKeep)
+	}
+}
+
+// tick samples energy and runs the policy's decision interval.
+func (e *Engine) tick(*des.Simulator) {
+	e.acct.Sample(e.sim.Now())
+	e.policy.OnTick(e.ctx)
+	if !e.done() {
+		e.sim.AfterFunc(e.cfg.TickInterval, e.tick)
+	}
+}
+
+func (e *Engine) done() bool { return e.completed == len(e.tasks) }
+
+// runningTask records an in-flight execution so node views can report the
+// remaining in-flight work exactly and failures can abort it.
+type runningTask struct {
+	finishAt float64
+	speed    float64
+	handle   des.Handle
+	task     *workload.Task
+	group    *grouping.Group
+}
+
+// retryEntry is an execution aborted by a processor failure, awaiting
+// re-dispatch on the same node. The group's dispatch counter already
+// accounts for the task, so a retry start must not advance it again.
+type retryEntry struct {
+	task  *workload.Task
+	group *grouping.Group
+}
+
+// nodeAcct tracks a node's engaged-utilisation integrals: while the node
+// has work (running or queued undispatched tasks), capDemand integrates
+// its processor-time and busyDemand the busy share of it. Their ratio is
+// the "utilisation rate" of Figures 9/10 — how well the scheduler keeps
+// the processors of engaged nodes busy — which, unlike the raw busy
+// fraction, is meaningful at light load as well.
+type nodeAcct struct {
+	lastT        float64
+	busy         int
+	undispatched int
+	busyDemand   float64
+	capDemand    float64
+}
+
+// touchAcct folds elapsed time into a node's engaged-utilisation account.
+func (e *Engine) touchAcct(node *platform.Node) *nodeAcct {
+	a := &e.accts[node.ID]
+	now := e.sim.Now()
+	dt := now - a.lastT
+	if dt > 0 {
+		if a.busy > 0 || a.undispatched > 0 {
+			a.capDemand += float64(node.NumProcessors()) * dt
+			a.busyDemand += float64(a.busy) * dt
+		}
+		a.lastT = now
+	} else {
+		a.lastT = now
+	}
+	return a
+}
+
+// queuedWeight sums Eq. 10 processing weights over a node's queued groups.
+func (e *Engine) queuedWeight(n *platform.Node) float64 {
+	sum := 0.0
+	for _, g := range e.queues[n.ID] {
+		sum += g.PW()
+	}
+	return sum
+}
+
+// nodeInfo builds the policy-visible state of a node.
+func (e *Engine) nodeInfo(n *platform.Node) NodeInfo {
+	q := e.queues[n.ID]
+	ni := NodeInfo{
+		Node:         n,
+		QueuedGroups: len(q),
+		FreeSlots:    n.QueueCap - len(q),
+		QueuedWeight: e.queuedWeight(n),
+		ProcPower:    make([]float64, len(n.Processors)),
+	}
+	for _, g := range q {
+		for _, t := range g.Tasks[g.Dispatched():] {
+			ni.QueuedWork += t.SizeMI
+		}
+	}
+	now := e.sim.Now()
+	for _, p := range n.Processors {
+		if rt, ok := e.running[p.ID]; ok && rt.finishAt > now {
+			ni.InflightWork += (rt.finishAt - now) * rt.speed
+		}
+	}
+	for i, p := range n.Processors {
+		switch p.State() {
+		case platform.StateBusy:
+			ni.ProcPower[i] = p.InstantPower()
+		case platform.StateSleep:
+			ni.ProcPower[i] = p.PSleepW
+			ni.SleepProcs++
+		case platform.StateWaking:
+			ni.ProcPower[i] = p.PMaxW
+		case platform.StateFailed:
+			ni.ProcPower[i] = 0
+		default:
+			ni.ProcPower[i] = p.PMinW
+			ni.IdleProcs++
+		}
+	}
+	return ni
+}
+
+// place assigns a closed group to a node, or backlogs it when the site has
+// no free queue slot.
+func (e *Engine) place(ag *Agent, g *grouping.Group) {
+	candidates := e.freeCandidates(ag)
+	if len(candidates) == 0 {
+		e.emit(trace.LevelInfo, "backlog", trace.F("group", g.ID), trace.F("agent", ag.ID))
+		ag.backlog = append(ag.backlog, g)
+		return
+	}
+	node := e.policy.PlaceGroup(e.ctx, ag, g, candidates)
+	if !e.isCandidate(node, candidates) {
+		node = e.leastLoaded(candidates)
+	}
+	e.enqueue(ag, g, node)
+}
+
+func (e *Engine) freeCandidates(ag *Agent) []NodeInfo {
+	var out []NodeInfo
+	for _, n := range ag.Site.Nodes {
+		if n.QueueCap-len(e.queues[n.ID]) > 0 {
+			out = append(out, e.nodeInfo(n))
+		}
+	}
+	return out
+}
+
+func (e *Engine) isCandidate(n *platform.Node, candidates []NodeInfo) bool {
+	if n == nil {
+		return false
+	}
+	for _, c := range candidates {
+		if c.Node == n {
+			return true
+		}
+	}
+	return false
+}
+
+// leastLoaded returns the candidate with the smallest queued weight,
+// breaking ties by larger capacity then node ID for determinism.
+func (e *Engine) leastLoaded(candidates []NodeInfo) *platform.Node {
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		switch {
+		case c.QueuedWeight < best.QueuedWeight:
+			best = c
+		case c.QueuedWeight == best.QueuedWeight && c.Node.Capacity() > best.Node.Capacity():
+			best = c
+		}
+	}
+	return best.Node
+}
+
+// enqueue commits the placement: records err_tg (Eq. 9), notifies the
+// policy and starts dispatch.
+func (e *Engine) enqueue(ag *Agent, g *grouping.Group, node *platform.Node) {
+	if len(e.queues[node.ID]) >= node.QueueCap {
+		panic(fmt.Sprintf("sched: enqueue on full node %d", node.ID))
+	}
+	now := e.sim.Now()
+	g.NodeID = node.ID
+	g.EnqueuedAt = now
+	g.ErrTG = grouping.ErrTGFor(g.PW(), node.Capacity())
+	e.touchAcct(node).undispatched += g.Len()
+	e.queues[node.ID] = append(e.queues[node.ID], g)
+	e.groupAgent[g.ID] = ag
+	for _, t := range g.Tasks {
+		e.taskGroup[t.ID] = g
+	}
+	e.emit(trace.LevelInfo, "enqueue",
+		trace.F("group", g.ID), trace.F("node", node.ID), trace.F("size", g.Len()), trace.F("errtg", g.ErrTG))
+	e.policy.OnAssigned(e.ctx, ag, g, node)
+	e.tryDispatch(node)
+}
+
+// tryDispatch feeds idle processors of a node from its queue: the head
+// group first, then — when the head is fully dispatched and splitting is
+// enabled — tasks pulled forward from later groups (§IV.D.2).
+func (e *Engine) tryDispatch(node *platform.Node) {
+	q := e.queues[node.ID]
+	if len(q) == 0 {
+		return
+	}
+	demand := e.dispatchDemand(node)
+	if demand == 0 {
+		return
+	}
+	for _, proc := range e.idleProcs(node) {
+		// Aborted executions restart first: their groups hold queue slots
+		// and their deadlines have been running the longest.
+		if rl := e.retries[node.ID]; len(rl) > 0 {
+			e.retries[node.ID] = rl[1:]
+			e.startTask(node, proc, rl[0].group, rl[0].task, true)
+			continue
+		}
+		task, g := e.nextDispatchable(node)
+		if task == nil {
+			break
+		}
+		e.startTask(node, proc, g, task, false)
+	}
+	// If demand remains but every available processor is asleep, wake as
+	// many sleepers as needed (the engine's auto-wake keeps baseline
+	// policies deadlock-free; the wake latency is their learning signal).
+	remaining := e.dispatchDemand(node)
+	if remaining > 0 {
+		for _, p := range node.Processors {
+			if remaining == 0 {
+				break
+			}
+			if p.State() == platform.StateSleep {
+				e.wake(node, p)
+				remaining--
+			}
+		}
+	}
+}
+
+// dispatchDemand counts the tasks currently eligible to start on the node.
+func (e *Engine) dispatchDemand(node *platform.Node) int {
+	demand := len(e.retries[node.ID])
+	q := e.queues[node.ID]
+	if len(q) == 0 {
+		return demand
+	}
+	demand += len(q[0].Tasks) - q[0].Dispatched()
+	if !e.cfg.DisableSplit && len(q) > 1 {
+		// §IV.D.2: the split process pulls tasks from the NEXT waiting
+		// group only, once the head group is fully dispatched.
+		demand += len(q[1].Tasks) - q[1].Dispatched()
+	}
+	return demand
+}
+
+// nextDispatchable returns the next task to start: head group in EDF
+// order; with split enabled, later groups feed in once the head is fully
+// dispatched.
+func (e *Engine) nextDispatchable(node *platform.Node) (*workload.Task, *grouping.Group) {
+	q := e.queues[node.ID]
+	if len(q) == 0 {
+		return nil, nil
+	}
+	if t := q[0].NextUndispatched(); t != nil {
+		return t, q[0]
+	}
+	if e.cfg.DisableSplit || len(q) < 2 {
+		return nil, nil
+	}
+	if t := q[1].NextUndispatched(); t != nil {
+		return t, q[1]
+	}
+	return nil, nil
+}
+
+// idleProcs lists awake idle processors — in index order by default, or
+// fastest-first when SpeedAwareDispatch is enabled.
+func (e *Engine) idleProcs(node *platform.Node) []*platform.Processor {
+	var out []*platform.Processor
+	for _, p := range node.Processors {
+		if p.State() == platform.StateIdle {
+			out = append(out, p)
+		}
+	}
+	if e.cfg.SpeedAwareDispatch {
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j].EffectiveSpeed() > out[j-1].EffectiveSpeed(); j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+	}
+	return out
+}
+
+// startTask begins executing a task on a processor. retry marks the
+// re-execution of an aborted run, whose group dispatch counter was already
+// advanced.
+func (e *Engine) startTask(node *platform.Node, proc *platform.Processor, g *grouping.Group, task *workload.Task, retry bool) {
+	now := e.sim.Now()
+	acct := e.touchAcct(node)
+	acct.busy++
+	acct.undispatched--
+	if e.cfg.DVFSLazy {
+		proc.SetThrottle(e.lazyThrottle(proc, task, now), now)
+	}
+	proc.SetState(platform.StateBusy, now)
+	if !retry {
+		g.NoteDispatched()
+	}
+	e.emit(trace.LevelDebug, "dispatch",
+		trace.F("task", task.ID), trace.F("group", g.ID), trace.F("proc", proc.ID), trace.F("retry", retry))
+	task.StartTime = now
+	speed := proc.EffectiveSpeed()
+	task.ProcessorSpeed = speed
+	et := task.SizeMI / speed
+	handle := e.sim.AfterFunc(et, func(*des.Simulator) { e.finishTask(node, proc, g, task) })
+	e.running[proc.ID] = runningTask{finishAt: now + et, speed: speed, handle: handle, task: task, group: g}
+}
+
+// lazyThrottle returns the lowest throttle that finishes the task by its
+// absolute deadline with a 10% margin (full speed when the deadline is
+// already at risk).
+func (e *Engine) lazyThrottle(proc *platform.Processor, task *workload.Task, now float64) float64 {
+	window := (task.AbsoluteDeadline() - now) * 0.9
+	if window <= 0 {
+		return 1
+	}
+	needed := task.SizeMI / window / proc.SpeedMIPS
+	if needed >= 1 {
+		return 1
+	}
+	return needed // SetThrottle clamps to MinThrottle
+}
+
+// finishTask completes a task execution.
+func (e *Engine) finishTask(node *platform.Node, proc *platform.Processor, g *grouping.Group, task *workload.Task) {
+	now := e.sim.Now()
+	delete(e.running, proc.ID)
+	e.touchAcct(node).busy--
+	task.FinishTime = now
+	proc.NoteTaskRun()
+	if e.cfg.DVFSLazy {
+		proc.SetThrottle(1, now)
+	}
+	proc.SetState(platform.StateIdle, now)
+	met := task.MetDeadline()
+	e.col.RecordTask(metrics.TaskRecord{
+		ID:           task.ID,
+		Priority:     task.Priority,
+		ResponseTime: task.ResponseTime(),
+		WaitTime:     task.StartTime - task.ArrivalTime,
+		MetDeadline:  met,
+		FinishedAt:   now,
+	})
+	e.emit(trace.LevelDebug, "finish",
+		trace.F("task", task.ID), trace.F("proc", proc.ID), trace.F("met", met))
+	e.completed++
+	if g.NoteFinished(met) {
+		e.completeGroup(g, node)
+	}
+	// Re-dispatch first so the freed processor is reused before the policy
+	// considers sleeping it.
+	e.tryDispatch(node)
+	if proc.State() == platform.StateIdle {
+		e.policy.OnProcessorIdle(e.ctx, proc)
+	}
+	if e.done() {
+		e.finalFlush()
+		// Halt the event loop: pending housekeeping/tick/failure events
+		// would otherwise drain and advance the clock (and thus the idle
+		// energy integral) past the completion instant.
+		e.sim.Stop()
+	}
+}
+
+// completeGroup removes the group from its queue, records the learning
+// cycle and delivers the reward feedback.
+func (e *Engine) completeGroup(g *grouping.Group, node *platform.Node) {
+	q := e.queues[node.ID]
+	removed := false
+	for i, qg := range q {
+		if qg == g {
+			e.queues[node.ID] = append(q[:i], q[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	if !removed {
+		panic(fmt.Sprintf("sched: completed group %d not found in node %d queue", g.ID, node.ID))
+	}
+	now := e.sim.Now()
+	ag := e.groupAgent[g.ID]
+	exp := memory.Experience{Reward: float64(g.Reward()), Error: g.ErrTG}
+	e.col.RecordGroup(metrics.GroupRecord{
+		GroupID:     g.ID,
+		AgentID:     ag.ID,
+		Size:        g.Len(),
+		Reward:      g.Reward(),
+		ErrTG:       g.ErrTG,
+		LVal:        exp.LVal(),
+		CompletedAt: now,
+	})
+	e.emit(trace.LevelInfo, "group-complete",
+		trace.F("group", g.ID), trace.F("reward", g.Reward()), trace.F("size", g.Len()))
+	e.recordCycle(now)
+	ag.Cycles++
+	e.policy.OnGroupComplete(e.ctx, ag, g)
+	ag.LastReward = float64(g.Reward())
+	e.placeBacklog(ag)
+	e.tryDispatch(node)
+}
+
+// recordCycle logs the platform's cumulative busy time and engaged
+// capacity at a learning-cycle boundary.
+func (e *Engine) recordCycle(now float64) {
+	e.pl.AdvanceAll(now)
+	busy := 0.0
+	for _, p := range e.pl.Processors() {
+		busy += p.BusyTime()
+	}
+	var busyDemand, capDemand float64
+	for _, n := range e.pl.Nodes() {
+		a := e.touchAcct(n)
+		busyDemand += a.busyDemand
+		capDemand += a.capDemand
+	}
+	e.col.RecordCycle(now, busy, busyDemand, capDemand)
+}
+
+// placeBacklog retries the agent's deferred groups in FIFO order.
+func (e *Engine) placeBacklog(ag *Agent) {
+	for len(ag.backlog) > 0 {
+		candidates := e.freeCandidates(ag)
+		if len(candidates) == 0 {
+			return
+		}
+		g := ag.backlog[0]
+		ag.backlog = ag.backlog[1:]
+		node := e.policy.PlaceGroup(e.ctx, ag, g, candidates)
+		if !e.isCandidate(node, candidates) {
+			node = e.leastLoaded(candidates)
+		}
+		e.enqueue(ag, g, node)
+	}
+}
+
+// sleepProcessor honours a policy's go_sleep action on an idle processor.
+func (e *Engine) sleepProcessor(p *platform.Processor) {
+	if p.State() != platform.StateIdle {
+		return
+	}
+	e.emit(trace.LevelDebug, "sleep", trace.F("proc", p.ID))
+	p.SetState(platform.StateSleep, e.sim.Now())
+}
+
+// wake starts the sleep→idle transition: the processor enters the waking
+// state (drawing peak power) for its wake latency, then becomes idle and
+// dispatch resumes.
+func (e *Engine) wake(node *platform.Node, p *platform.Processor) {
+	e.emit(trace.LevelDebug, "wake", trace.F("proc", p.ID), trace.F("node", node.ID))
+	p.SetState(platform.StateWaking, e.sim.Now())
+	e.sim.AfterFunc(p.WakeLatency, func(*des.Simulator) {
+		if p.State() == platform.StateWaking {
+			p.SetState(platform.StateIdle, e.sim.Now())
+		}
+		e.tryDispatch(node)
+	})
+}
+
+// scheduleFailure arms the next failure of a processor.
+func (e *Engine) scheduleFailure(node *platform.Node, proc *platform.Processor) {
+	uptime := e.rngFail.Exp(e.cfg.FailureMTBF)
+	e.sim.AfterFunc(uptime, func(*des.Simulator) { e.failProcessor(node, proc) })
+}
+
+// failProcessor takes a processor down: an in-flight execution is aborted
+// and queued for re-execution, the processor draws no power until the
+// repair completes, and the next failure is armed after the repair.
+func (e *Engine) failProcessor(node *platform.Node, proc *platform.Processor) {
+	if e.done() {
+		return // run is over; let the event queue drain
+	}
+	now := e.sim.Now()
+	e.failures++
+	if rt, ok := e.running[proc.ID]; ok {
+		e.sim.Cancel(rt.handle)
+		delete(e.running, proc.ID)
+		acct := e.touchAcct(node)
+		acct.busy--
+		acct.undispatched++
+		rt.task.StartTime = -1
+		e.retries[node.ID] = append(e.retries[node.ID], retryEntry{task: rt.task, group: rt.group})
+		e.restarts++
+		e.emit(trace.LevelWarn, "failure",
+			trace.F("proc", proc.ID), trace.F("aborted", rt.task.ID))
+	} else {
+		e.emit(trace.LevelWarn, "failure", trace.F("proc", proc.ID))
+	}
+	proc.SetState(platform.StateFailed, now)
+	e.sim.AfterFunc(e.cfg.RepairTime, func(*des.Simulator) {
+		if proc.State() == platform.StateFailed {
+			proc.SetState(platform.StateIdle, e.sim.Now())
+		}
+		e.emit(trace.LevelInfo, "repair", trace.F("proc", proc.ID))
+		e.tryDispatch(node)
+		if !e.done() {
+			e.scheduleFailure(node, proc)
+		}
+	})
+}
+
+// finalFlush asserts run-end invariants once the last task completed.
+func (e *Engine) finalFlush() {
+	for _, ag := range e.agents {
+		if ag.Merger.Pending() > 0 || len(ag.backlog) > 0 {
+			panic(fmt.Sprintf("sched: agent %d still holds work after completion", ag.ID))
+		}
+	}
+	for id, q := range e.queues {
+		if len(q) != 0 {
+			panic(fmt.Sprintf("sched: node %d queue non-empty after completion", id))
+		}
+	}
+	for id, rl := range e.retries {
+		if len(rl) != 0 {
+			panic(fmt.Sprintf("sched: node %d retry queue non-empty after completion", id))
+		}
+	}
+	if err := e.col.Validate(); err != nil {
+		panic(err)
+	}
+	if !math.IsInf(e.arrivalsEnd, 0) && e.sim.Now() < e.arrivalsEnd {
+		panic("sched: completed before the last arrival")
+	}
+}

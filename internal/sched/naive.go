@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"rlsched/internal/grouping"
+	"rlsched/internal/platform"
+	"rlsched/internal/workload"
+)
+
+// Naive reference policies. They bound the comparison space from below:
+// any learning approach must beat Random, and RoundRobin shows what plain
+// load-spreading achieves without any state observation.
+
+// RoundRobin places groups on the nodes of the site in strict rotation,
+// with a fixed group size and mixed-priority merging.
+type RoundRobin struct {
+	// Opnum is the fixed group size.
+	Opnum int
+	next  map[int]int // per-agent rotation cursor
+}
+
+// NewRoundRobin returns a round-robin policy with group size 3.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{Opnum: 3} }
+
+// Name implements Policy.
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// Init implements Policy.
+func (p *RoundRobin) Init(ctx *Context) {
+	p.next = make(map[int]int, len(ctx.Agents()))
+}
+
+// ChooseAction implements Policy.
+func (p *RoundRobin) ChooseAction(*Context, *Agent, *workload.Task) Action {
+	return Action{Opnum: p.Opnum, Mode: grouping.ModeMixed}
+}
+
+// PlaceGroup implements Policy: rotate over the site's nodes, skipping
+// candidates that are full (the engine only offers free ones, so the
+// rotation simply advances over the offered list).
+func (p *RoundRobin) PlaceGroup(_ *Context, ag *Agent, _ *grouping.Group, candidates []NodeInfo) *platform.Node {
+	idx := p.next[ag.ID] % len(candidates)
+	p.next[ag.ID]++
+	return candidates[idx].Node
+}
+
+// OnAssigned implements Policy.
+func (p *RoundRobin) OnAssigned(*Context, *Agent, *grouping.Group, *platform.Node) {}
+
+// OnGroupComplete implements Policy.
+func (p *RoundRobin) OnGroupComplete(*Context, *Agent, *grouping.Group) {}
+
+// OnProcessorIdle implements Policy.
+func (p *RoundRobin) OnProcessorIdle(*Context, *platform.Processor) {}
+
+// OnTick implements Policy.
+func (p *RoundRobin) OnTick(*Context) {}
+
+// Random places groups uniformly at random and draws a random group size
+// per epoch — the floor any adaptive policy must clear.
+type Random struct {
+	// MaxOpnum bounds the random group size (clamped by the engine).
+	MaxOpnum int
+}
+
+// NewRandom returns a random policy with group sizes up to 6.
+func NewRandom() *Random { return &Random{MaxOpnum: 6} }
+
+// Name implements Policy.
+func (p *Random) Name() string { return "random" }
+
+// Init implements Policy.
+func (p *Random) Init(*Context) {}
+
+// ChooseAction implements Policy.
+func (p *Random) ChooseAction(ctx *Context, _ *Agent, _ *workload.Task) Action {
+	return Action{
+		Opnum: 1 + ctx.Rand.Intn(p.MaxOpnum),
+		Mode:  grouping.Mode(ctx.Rand.Intn(2)),
+	}
+}
+
+// PlaceGroup implements Policy.
+func (p *Random) PlaceGroup(ctx *Context, _ *Agent, _ *grouping.Group, candidates []NodeInfo) *platform.Node {
+	return candidates[ctx.Rand.Intn(len(candidates))].Node
+}
+
+// OnAssigned implements Policy.
+func (p *Random) OnAssigned(*Context, *Agent, *grouping.Group, *platform.Node) {}
+
+// OnGroupComplete implements Policy.
+func (p *Random) OnGroupComplete(*Context, *Agent, *grouping.Group) {}
+
+// OnProcessorIdle implements Policy.
+func (p *Random) OnProcessorIdle(*Context, *platform.Processor) {}
+
+// OnTick implements Policy.
+func (p *Random) OnTick(*Context) {}

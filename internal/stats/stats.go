@@ -1,0 +1,223 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses: streaming moment accumulation (Welford), coefficient of
+// variation (the paper's heterogeneity metric), percentiles, and normal
+// confidence intervals for multi-replication summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes streaming mean and variance using Welford's
+// algorithm, which is numerically stable for long runs.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		a.min = math.Min(a.min, x)
+		a.max = math.Max(a.max, x)
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// AddAll folds a slice of observations.
+func (a *Accumulator) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// N returns the observation count.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 when empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// CV returns the coefficient of variation (stddev/mean), the paper's
+// service-heterogeneity metric [24]. Zero mean yields zero.
+func (a *Accumulator) CV() float64 {
+	if a.mean == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Abs(a.mean)
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.min
+}
+
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.max
+}
+
+// CI95 returns the half-width of the 95% normal confidence interval on the
+// mean (0 for n < 2). With the replication counts used here (≥ 5) the
+// normal approximation is adequate for shape comparisons.
+func (a *Accumulator) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return 1.96 * a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Summary is a value snapshot of an accumulator.
+type Summary struct {
+	N                  int
+	Mean, StdDev, CI95 float64
+	Min, Max, CV       float64
+}
+
+// Summarize captures the accumulator state.
+func (a *Accumulator) Summarize() Summary {
+	return Summary{
+		N: a.n, Mean: a.Mean(), StdDev: a.StdDev(), CI95: a.CI95(),
+		Min: a.Min(), Max: a.Max(), CV: a.CV(),
+	}
+}
+
+// String renders "mean ± ci (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.CI95, s.N)
+}
+
+// Mean computes the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev computes the unbiased sample standard deviation (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	var a Accumulator
+	a.AddAll(xs)
+	return a.StdDev()
+}
+
+// CV computes the coefficient of variation of xs.
+func CV(xs []float64) float64 {
+	var a Accumulator
+	a.AddAll(xs)
+	return a.CV()
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between order statistics. It panics on an empty slice or
+// out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %g out of [0,100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median is the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// MeanOfColumn averages column i across rows, skipping rows that are too
+// short. Used to aggregate per-replication series into a mean series.
+func MeanOfColumn(rows [][]float64, i int) float64 {
+	var a Accumulator
+	for _, row := range rows {
+		if i < len(row) {
+			a.Add(row[i])
+		}
+	}
+	return a.Mean()
+}
+
+// MeanSeries averages equally long series element-wise; ragged tails are
+// averaged over the rows that have them. Returns nil for no rows.
+func MeanSeries(rows [][]float64) []float64 {
+	maxLen := 0
+	for _, row := range rows {
+		if len(row) > maxLen {
+			maxLen = len(row)
+		}
+	}
+	if maxLen == 0 {
+		return nil
+	}
+	out := make([]float64, maxLen)
+	for i := range out {
+		out[i] = MeanOfColumn(rows, i)
+	}
+	return out
+}
+
+// Histogram bins xs into n equal-width buckets over [min, max] and returns
+// the counts. Values exactly at max land in the last bucket. Panics for
+// n <= 0 or max <= min.
+func Histogram(xs []float64, n int, min, max float64) []int {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: histogram bucket count %d", n))
+	}
+	if max <= min {
+		panic(fmt.Sprintf("stats: histogram range [%g, %g]", min, max))
+	}
+	counts := make([]int, n)
+	width := (max - min) / float64(n)
+	for _, x := range xs {
+		if x < min || x > max {
+			continue
+		}
+		idx := int((x - min) / width)
+		if idx >= n {
+			idx = n - 1
+		}
+		counts[idx]++
+	}
+	return counts
+}

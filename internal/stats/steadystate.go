@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Steady-state analysis helpers for discrete-event simulation output:
+// batch means with confidence intervals, lag autocorrelation, and a
+// Welch-style warm-up truncation heuristic. These let users of the
+// library treat a long run as a statistically meaningful sample rather
+// than eyeballing noisy series.
+
+// BatchMeansResult summarises a batch-means analysis.
+type BatchMeansResult struct {
+	// Batches is the number of batches used.
+	Batches int
+	// BatchSize is the observations per batch (the tail remainder is
+	// dropped).
+	BatchSize int
+	// Mean is the grand mean over the batched observations.
+	Mean float64
+	// CI95 is the half-width of the 95% confidence interval computed from
+	// the batch means (normal approximation).
+	CI95 float64
+	// Lag1 is the lag-1 autocorrelation OF THE BATCH MEANS; values near
+	// zero indicate the batches are long enough to be treated as
+	// independent.
+	Lag1 float64
+}
+
+// BatchMeans divides xs into `batches` equal batches and estimates the
+// mean with a confidence interval from the batch means — the standard
+// output-analysis method for autocorrelated simulation series. It panics
+// for fewer than 2 batches; it returns an error when xs is too short to
+// fill every batch with at least 2 observations.
+func BatchMeans(xs []float64, batches int) (BatchMeansResult, error) {
+	if batches < 2 {
+		panic(fmt.Sprintf("stats: BatchMeans needs >= 2 batches, got %d", batches))
+	}
+	size := len(xs) / batches
+	if size < 2 {
+		return BatchMeansResult{}, fmt.Errorf("stats: %d observations cannot fill %d batches", len(xs), batches)
+	}
+	means := make([]float64, batches)
+	for b := 0; b < batches; b++ {
+		means[b] = Mean(xs[b*size : (b+1)*size])
+	}
+	var acc Accumulator
+	acc.AddAll(means)
+	return BatchMeansResult{
+		Batches:   batches,
+		BatchSize: size,
+		Mean:      acc.Mean(),
+		CI95:      acc.CI95(),
+		Lag1:      Autocorrelation(means, 1),
+	}, nil
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs
+// (0 for degenerate inputs: k out of range or zero variance).
+func Autocorrelation(xs []float64, k int) float64 {
+	n := len(xs)
+	if k <= 0 || k >= n {
+		return 0
+	}
+	mean := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - mean
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i < n-k; i++ {
+		num += (xs[i] - mean) * (xs[i+k] - mean)
+	}
+	return num / den
+}
+
+// TruncateWarmup estimates the warm-up length of a series with a
+// Welch-style rule: it computes the moving average over a window and
+// returns the first index after which the moving average stays within
+// tol (relative) of the steady-state level, estimated from the final
+// quarter of the series. It returns 0 when no warm-up is detectable and
+// len(xs) when the series never settles.
+func TruncateWarmup(xs []float64, window int, tol float64) int {
+	n := len(xs)
+	if n == 0 || window <= 0 || tol <= 0 {
+		return 0
+	}
+	if window > n {
+		window = n
+	}
+	steady := Mean(xs[n-n/4-1:])
+	if steady == 0 {
+		return 0
+	}
+	// Moving average; find the first window whose mean is within tol and
+	// from which every later window also stays within tol.
+	candidate := n
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += xs[i]
+		if i >= window {
+			sum -= xs[i-window]
+		}
+		if i >= window-1 {
+			avg := sum / float64(window)
+			if math.Abs(avg-steady) <= tol*math.Abs(steady) {
+				if candidate == n {
+					candidate = i - window + 1
+				}
+			} else {
+				candidate = n
+			}
+		}
+	}
+	if candidate == n {
+		return n
+	}
+	return candidate
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"rlsched/internal/rng"
+)
+
+func TestBatchMeansRecoverMean(t *testing.T) {
+	r := rng.NewStream(1, "bm")
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = r.Normal(42, 5)
+	}
+	res, err := BatchMeans(xs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 20 || res.BatchSize != 500 {
+		t.Fatalf("batch layout %d x %d", res.Batches, res.BatchSize)
+	}
+	if math.Abs(res.Mean-42) > 0.3 {
+		t.Fatalf("mean %g, want ~42", res.Mean)
+	}
+	if res.CI95 <= 0 || res.CI95 > 1 {
+		t.Fatalf("CI %g implausible", res.CI95)
+	}
+	// IID input: batch means should be nearly uncorrelated.
+	if math.Abs(res.Lag1) > 0.5 {
+		t.Fatalf("lag-1 autocorrelation %g too large for IID input", res.Lag1)
+	}
+	// The true mean should be inside ~2 CI widths essentially always.
+	if math.Abs(res.Mean-42) > 2*res.CI95 {
+		t.Fatalf("true mean outside 2x CI: mean %g ± %g", res.Mean, res.CI95)
+	}
+}
+
+func TestBatchMeansErrors(t *testing.T) {
+	if _, err := BatchMeans(make([]float64, 10), 8); err == nil {
+		t.Fatal("expected error for too-short input")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for <2 batches")
+		}
+	}()
+	_, _ = BatchMeans(make([]float64, 10), 1)
+}
+
+func TestAutocorrelationKnownSeries(t *testing.T) {
+	// Alternating series: lag-1 autocorrelation -> -1.
+	xs := []float64{1, -1, 1, -1, 1, -1, 1, -1, 1, -1}
+	if got := Autocorrelation(xs, 1); math.Abs(got-(-0.9)) > 0.15 {
+		t.Fatalf("alternating lag-1 = %g, want ~-1", got)
+	}
+	// Constant series: degenerate, 0.
+	if got := Autocorrelation([]float64{3, 3, 3, 3}, 1); got != 0 {
+		t.Fatalf("constant lag-1 = %g", got)
+	}
+	// Strongly positively correlated (slow ramp).
+	ramp := make([]float64, 100)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	if got := Autocorrelation(ramp, 1); got < 0.9 {
+		t.Fatalf("ramp lag-1 = %g, want ~1", got)
+	}
+}
+
+func TestAutocorrelationDegenerateLags(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if Autocorrelation(xs, 0) != 0 || Autocorrelation(xs, 3) != 0 || Autocorrelation(xs, -1) != 0 {
+		t.Fatal("degenerate lags must return 0")
+	}
+}
+
+func TestTruncateWarmupDetectsRamp(t *testing.T) {
+	// 200-sample ramp into a steady level of 10.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		if i < 200 {
+			xs[i] = float64(i) / 200 * 10
+		} else {
+			xs[i] = 10
+		}
+	}
+	cut := TruncateWarmup(xs, 20, 0.02)
+	if cut < 150 || cut > 240 {
+		t.Fatalf("warm-up cut at %d, want ~200", cut)
+	}
+	// The truncated series should average very close to 10.
+	if m := Mean(xs[cut:]); math.Abs(m-10) > 0.1 {
+		t.Fatalf("post-cut mean %g", m)
+	}
+}
+
+func TestTruncateWarmupNoWarmup(t *testing.T) {
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 5
+	}
+	if cut := TruncateWarmup(xs, 10, 0.05); cut != 0 {
+		t.Fatalf("flat series cut at %d, want 0", cut)
+	}
+}
+
+func TestTruncateWarmupNeverSettles(t *testing.T) {
+	// Diverging series: no steady state.
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = float64(i * i)
+	}
+	if cut := TruncateWarmup(xs, 10, 0.001); cut != len(xs) {
+		t.Fatalf("diverging series cut at %d, want %d", cut, len(xs))
+	}
+}
+
+func TestTruncateWarmupDegenerate(t *testing.T) {
+	if TruncateWarmup(nil, 5, 0.1) != 0 {
+		t.Fatal("nil series")
+	}
+	if TruncateWarmup([]float64{1, 2}, 0, 0.1) != 0 {
+		t.Fatal("zero window")
+	}
+	if TruncateWarmup([]float64{1, 2}, 5, 0) != 0 {
+		t.Fatal("zero tolerance")
+	}
+}

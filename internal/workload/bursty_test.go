@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"rlsched/internal/rng"
+	"rlsched/internal/stats"
+)
+
+func TestBurstyValidation(t *testing.T) {
+	if err := DefaultBurstyConfig().Validate(); err != nil {
+		t.Fatalf("default bursty config invalid: %v", err)
+	}
+	bad := []func(*BurstyConfig){
+		func(c *BurstyConfig) { c.BurstFactor = 1 },
+		func(c *BurstyConfig) { c.MeanBurstLen = 0 },
+		func(c *BurstyConfig) { c.MeanGapLen = -1 },
+		func(c *BurstyConfig) { c.NumTasks = 0 },
+		// Burst so strong the gap phase would need negative rate:
+		// f = 200/(200+50)=0.8, factor 2 -> gap scale (1-1.6)/0.2 < 0.
+		func(c *BurstyConfig) { c.MeanBurstLen = 200; c.MeanGapLen = 50; c.BurstFactor = 2 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultBurstyConfig()
+		mutate(&cfg)
+		if _, err := GenerateBursty(cfg, rng.NewStream(1, "b")); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestBurstyPreservesLongRunRate(t *testing.T) {
+	cfg := DefaultBurstyConfig()
+	cfg.NumTasks = 20000
+	tasks, err := GenerateBursty(cfg, rng.NewStream(5, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := tasks[len(tasks)-1].ArrivalTime - tasks[0].ArrivalTime
+	meanIAT := span / float64(len(tasks)-1)
+	if math.Abs(meanIAT-cfg.MeanInterArrival) > 0.35 {
+		t.Fatalf("long-run mean inter-arrival %g, want ~%g", meanIAT, cfg.MeanInterArrival)
+	}
+}
+
+func TestBurstyIsBurstierThanPoisson(t *testing.T) {
+	cfg := DefaultBurstyConfig()
+	cfg.NumTasks = 20000
+	bursty, err := GenerateBursty(cfg, rng.NewStream(7, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := MustGenerate(cfg.GenConfig, rng.NewStream(7, "p"))
+
+	cv := func(tasks []*Task) float64 {
+		iats := make([]float64, 0, len(tasks)-1)
+		for i := 1; i < len(tasks); i++ {
+			iats = append(iats, tasks[i].ArrivalTime-tasks[i-1].ArrivalTime)
+		}
+		return stats.CV(iats)
+	}
+	cvPlain, cvBursty := cv(plain), cv(bursty)
+	// Poisson inter-arrivals have CV 1; modulation must push it above.
+	if math.Abs(cvPlain-1) > 0.1 {
+		t.Fatalf("plain Poisson CV %g, want ~1", cvPlain)
+	}
+	if cvBursty < cvPlain+0.15 {
+		t.Fatalf("bursty CV %g not above Poisson CV %g", cvBursty, cvPlain)
+	}
+}
+
+func TestBurstyTasksValid(t *testing.T) {
+	cfg := DefaultBurstyConfig()
+	cfg.NumTasks = 2000
+	tasks, err := GenerateBursty(cfg, rng.NewStream(9, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, task := range tasks {
+		if err := task.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if task.ArrivalTime < prev {
+			t.Fatal("arrivals out of order")
+		}
+		prev = task.ArrivalTime
+	}
+}
+
+func TestBurstyDeterministic(t *testing.T) {
+	cfg := DefaultBurstyConfig()
+	cfg.NumTasks = 500
+	a, _ := GenerateBursty(cfg, rng.NewStream(3, "b"))
+	b, _ := GenerateBursty(cfg, rng.NewStream(3, "b"))
+	for i := range a {
+		if a[i].ArrivalTime != b[i].ArrivalTime || a[i].SizeMI != b[i].SizeMI {
+			t.Fatal("bursty generation not deterministic")
+		}
+	}
+}

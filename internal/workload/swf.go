@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SWF import: the Standard Workload Format of the Parallel Workloads
+// Archive (Feitelson et al.) is the de-facto trace format for cluster and
+// grid logs. ReadSWF converts SWF jobs into this library's task model so
+// real recorded workloads can drive the simulator in place of the §V.A
+// synthetic generator.
+//
+// Mapping: each SWF job becomes one computation-intensive task. The job's
+// run time (field 4) times the reference speed gives the computational
+// size; the requested time (field 9, falling back to run time) anchors the
+// deadline; submit time (field 2) is the arrival. Jobs with unknown
+// (negative) run times are skipped.
+
+// SWFConfig controls the conversion.
+type SWFConfig struct {
+	// RefSpeedMIPS converts seconds of recorded run time into MI
+	// (size = runtime · RefSpeedMIPS); it should be the §III.A referred
+	// slowest speed of the platform the trace will run on.
+	RefSpeedMIPS float64
+	// TimeScale converts recorded seconds into simulation time units
+	// (e.g. 0.01 compresses an hour of trace to 36 units).
+	TimeScale float64
+	// DeadlineSlack is the minimum slack fraction granted on top of the
+	// requested time, so converted deadlines stay within the §III.A band
+	// [0, 1.5]·ACT after clamping.
+	DeadlineSlack float64
+	// MaxTasks bounds the import (0 = no bound).
+	MaxTasks int
+}
+
+// DefaultSWFConfig returns a conversion that preserves trace seconds as
+// time units against a 500 MIPS reference.
+func DefaultSWFConfig() SWFConfig {
+	return SWFConfig{RefSpeedMIPS: 500, TimeScale: 1, DeadlineSlack: 0.2}
+}
+
+// Validate checks the conversion parameters.
+func (c SWFConfig) Validate() error {
+	switch {
+	case c.RefSpeedMIPS <= 0:
+		return fmt.Errorf("workload: RefSpeedMIPS must be positive, got %g", c.RefSpeedMIPS)
+	case c.TimeScale <= 0:
+		return fmt.Errorf("workload: TimeScale must be positive, got %g", c.TimeScale)
+	case c.DeadlineSlack < 0 || c.DeadlineSlack > MaxSlack:
+		return fmt.Errorf("workload: DeadlineSlack %g out of [0, %g]", c.DeadlineSlack, MaxSlack)
+	case c.MaxTasks < 0:
+		return fmt.Errorf("workload: negative MaxTasks")
+	}
+	return nil
+}
+
+// ReadSWF parses an SWF trace into tasks, in arrival order.
+func ReadSWF(r io.Reader, cfg SWFConfig) ([]*Task, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var tasks []*Task
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	prevArrival := -1.0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, ";") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 9 {
+			return nil, fmt.Errorf("workload: swf line %d: %d fields, want >= 9", line, len(fields))
+		}
+		submit, err1 := strconv.ParseFloat(fields[1], 64)
+		runtime, err2 := strconv.ParseFloat(fields[3], 64)
+		requested, err3 := strconv.ParseFloat(fields[8], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("workload: swf line %d: unparseable numeric field", line)
+		}
+		if runtime <= 0 {
+			continue // unknown or zero run time: skip, per archive convention
+		}
+		if submit < 0 {
+			return nil, fmt.Errorf("workload: swf line %d: negative submit time", line)
+		}
+		if requested < runtime {
+			requested = runtime
+		}
+
+		arrival := submit * cfg.TimeScale
+		if arrival < prevArrival {
+			return nil, fmt.Errorf("workload: swf line %d: submit times out of order", line)
+		}
+		prevArrival = arrival
+		act := runtime * cfg.TimeScale
+		size := act * cfg.RefSpeedMIPS
+		// Deadline from the requested time plus the configured slack,
+		// clamped into the §III.A band so priorities stay meaningful.
+		deadline := requested * cfg.TimeScale * (1 + cfg.DeadlineSlack)
+		if max := act * (1 + MaxSlack); deadline > max {
+			deadline = max
+		}
+		if deadline < act {
+			deadline = act
+		}
+		slack := deadline/act - 1
+		t := &Task{
+			ID:          len(tasks),
+			SizeMI:      size,
+			ACT:         act,
+			Deadline:    deadline,
+			Priority:    PriorityFromSlack(slack),
+			ArrivalTime: arrival,
+			StartTime:   -1,
+			FinishTime:  -1,
+		}
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: swf line %d: %w", line, err)
+		}
+		tasks = append(tasks, t)
+		if cfg.MaxTasks > 0 && len(tasks) >= cfg.MaxTasks {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("workload: swf trace holds no usable jobs")
+	}
+	return tasks, nil
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSWF = `; SWF sample (Parallel Workloads Archive style header)
+; Computer: test cluster
+; fields: job submit wait run procs avgcpu mem reqprocs reqtime reqmem status uid gid exe queue part prev think
+1 0 5 100 4 -1 -1 4 200 -1 1 1 1 1 1 -1 -1 -1
+2 60 0 50 1 -1 -1 1 60 -1 1 1 1 1 1 -1 -1 -1
+3 120 2 -1 1 -1 -1 1 60 -1 0 1 1 1 1 -1 -1 -1
+4 180 0 400 8 -1 -1 8 300 -1 1 2 1 1 1 -1 -1 -1
+`
+
+func TestReadSWFBasics(t *testing.T) {
+	tasks, err := ReadSWF(strings.NewReader(sampleSWF), DefaultSWFConfig())
+	if err != nil {
+		t.Fatalf("ReadSWF: %v", err)
+	}
+	// Job 3 has unknown run time and is skipped.
+	if len(tasks) != 3 {
+		t.Fatalf("imported %d tasks, want 3", len(tasks))
+	}
+	first := tasks[0]
+	if first.ArrivalTime != 0 || first.ACT != 100 {
+		t.Fatalf("first task: arrival %g act %g", first.ArrivalTime, first.ACT)
+	}
+	if first.SizeMI != 100*500 {
+		t.Fatalf("first task size %g", first.SizeMI)
+	}
+	// Requested 200 with 20% slack = 240, within the 2.5x ACT cap (250).
+	if first.Deadline != 240 {
+		t.Fatalf("first task deadline %g, want 240", first.Deadline)
+	}
+	for _, task := range tasks {
+		if err := task.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReadSWFDeadlineClamped(t *testing.T) {
+	// Requested time far beyond the run time: deadline clamps to 2.5xACT.
+	in := "1 0 0 100 1 -1 -1 1 100000 -1 1 1 1 1 1 -1 -1 -1\n"
+	tasks, err := ReadSWF(strings.NewReader(in), DefaultSWFConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tasks[0].Deadline, 100*(1+MaxSlack); got != want {
+		t.Fatalf("clamped deadline %g, want %g", got, want)
+	}
+	if tasks[0].Priority != PriorityLow {
+		t.Fatalf("max-slack task priority %v, want low", tasks[0].Priority)
+	}
+}
+
+func TestReadSWFRequestedBelowRuntime(t *testing.T) {
+	// Requested below actual: the deadline still leaves DeadlineSlack.
+	in := "1 0 0 100 1 -1 -1 1 10 -1 1 1 1 1 1 -1 -1 -1\n"
+	tasks, err := ReadSWF(strings.NewReader(in), DefaultSWFConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks[0].Deadline != 120 {
+		t.Fatalf("deadline %g, want 120", tasks[0].Deadline)
+	}
+}
+
+func TestReadSWFTimeScale(t *testing.T) {
+	cfg := DefaultSWFConfig()
+	cfg.TimeScale = 0.1
+	tasks, err := ReadSWF(strings.NewReader(sampleSWF), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks[1].ArrivalTime != 6 {
+		t.Fatalf("scaled arrival %g, want 6", tasks[1].ArrivalTime)
+	}
+	if tasks[0].ACT != 10 {
+		t.Fatalf("scaled ACT %g, want 10", tasks[0].ACT)
+	}
+}
+
+func TestReadSWFMaxTasks(t *testing.T) {
+	cfg := DefaultSWFConfig()
+	cfg.MaxTasks = 2
+	tasks, err := ReadSWF(strings.NewReader(sampleSWF), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 2 {
+		t.Fatalf("imported %d tasks, want 2", len(tasks))
+	}
+}
+
+func TestReadSWFErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line":       "1 0 5 100\n",
+		"bad number":       "1 x 5 100 4 -1 -1 4 200 -1 1 1 1 1 1 -1 -1 -1\n",
+		"negative submit":  "1 -5 5 100 4 -1 -1 4 200 -1 1 1 1 1 1 -1 -1 -1\n",
+		"out of order":     "1 100 0 10 1 -1 -1 1 10 -1 1 1 1 1 1 -1 -1 -1\n2 50 0 10 1 -1 -1 1 10 -1 1 1 1 1 1 -1 -1 -1\n",
+		"comments only":    "; nothing here\n",
+		"all unknown runs": "1 0 0 -1 1 -1 -1 1 10 -1 0 1 1 1 1 -1 -1 -1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadSWF(strings.NewReader(in), DefaultSWFConfig()); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSWFConfigValidation(t *testing.T) {
+	bad := []func(*SWFConfig){
+		func(c *SWFConfig) { c.RefSpeedMIPS = 0 },
+		func(c *SWFConfig) { c.TimeScale = -1 },
+		func(c *SWFConfig) { c.DeadlineSlack = -0.1 },
+		func(c *SWFConfig) { c.DeadlineSlack = 2 },
+		func(c *SWFConfig) { c.MaxTasks = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultSWFConfig()
+		mutate(&cfg)
+		if _, err := ReadSWF(strings.NewReader(sampleSWF), cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}

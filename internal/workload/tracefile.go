@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Trace I/O: tasks serialise to a compact CSV so synthetic workloads can
+// be exported, edited and replayed, and externally produced traces (e.g.
+// converted cluster logs) can drive the simulator. The format is
+//
+//	id,arrival,size_mi,act,deadline,priority
+//
+// with priority one of low|medium|high. Runtime bookkeeping fields
+// (start/finish times) are not part of the trace.
+
+// traceHeader is the canonical column set.
+var traceHeader = []string{"id", "arrival", "size_mi", "act", "deadline", "priority"}
+
+// WriteTrace serialises tasks to CSV in arrival order.
+func WriteTrace(w io.Writer, tasks []*Task) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	for _, t := range tasks {
+		rec := []string{
+			strconv.Itoa(t.ID),
+			formatFloat(t.ArrivalTime),
+			formatFloat(t.SizeMI),
+			formatFloat(t.ACT),
+			formatFloat(t.Deadline),
+			t.Priority.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	return nil
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ParsePriority converts the lowercase class name back to a Priority.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "low":
+		return PriorityLow, nil
+	case "medium":
+		return PriorityMedium, nil
+	case "high":
+		return PriorityHigh, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown priority %q", s)
+	}
+}
+
+// ReadTrace parses a CSV trace. Every task is validated and the stream
+// must be in non-decreasing arrival order (the engine requires it).
+func ReadTrace(r io.Reader) ([]*Task, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(traceHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	for i, want := range traceHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("workload: trace header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var tasks []*Task
+	prevArrival := -1.0
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		t, err := parseTraceRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		if t.ArrivalTime < prevArrival {
+			return nil, fmt.Errorf("workload: line %d: arrivals out of order (%g after %g)",
+				line, t.ArrivalTime, prevArrival)
+		}
+		prevArrival = t.ArrivalTime
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		tasks = append(tasks, t)
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("workload: trace holds no tasks")
+	}
+	return tasks, nil
+}
+
+func parseTraceRecord(rec []string) (*Task, error) {
+	id, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return nil, fmt.Errorf("bad id %q: %w", rec[0], err)
+	}
+	fields := make([]float64, 4)
+	for i, raw := range rec[1:5] {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s %q: %w", traceHeader[i+1], raw, err)
+		}
+		fields[i] = v
+	}
+	prio, err := ParsePriority(rec[5])
+	if err != nil {
+		return nil, err
+	}
+	return &Task{
+		ID:          id,
+		ArrivalTime: fields[0],
+		SizeMI:      fields[1],
+		ACT:         fields[2],
+		Deadline:    fields[3],
+		Priority:    prio,
+		StartTime:   -1,
+		FinishTime:  -1,
+	}, nil
+}

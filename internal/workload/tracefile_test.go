@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"rlsched/internal/rng"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumTasks = 200
+	orig := MustGenerate(cfg, rng.NewStream(31, "trace"))
+
+	var sb strings.Builder
+	if err := WriteTrace(&sb, orig); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip lost tasks: %d vs %d", len(got), len(orig))
+	}
+	for i := range orig {
+		a, b := orig[i], got[i]
+		if a.ID != b.ID || a.SizeMI != b.SizeMI || a.ACT != b.ACT ||
+			a.Deadline != b.Deadline || a.Priority != b.Priority || a.ArrivalTime != b.ArrivalTime {
+			t.Fatalf("task %d differs after round trip:\n%+v\n%+v", i, a, b)
+		}
+		if b.StartTime != -1 || b.FinishTime != -1 {
+			t.Fatalf("task %d runtime fields not reset", i)
+		}
+	}
+}
+
+func TestReadTraceRejectsBadHeader(t *testing.T) {
+	_, err := ReadTrace(strings.NewReader("id,arrival,size,act,deadline,priority\n"))
+	if err == nil {
+		t.Fatal("expected header error")
+	}
+}
+
+func TestReadTraceRejectsOutOfOrderArrivals(t *testing.T) {
+	in := strings.Join([]string{
+		"id,arrival,size_mi,act,deadline,priority",
+		"0,10,1000,2,3,medium",
+		"1,5,1000,2,3,medium",
+	}, "\n")
+	if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+		t.Fatal("expected order error")
+	}
+}
+
+func TestReadTraceRejectsInvalidTask(t *testing.T) {
+	cases := []string{
+		"0,1,-5,2,3,medium",   // negative size
+		"0,1,1000,2,1,medium", // deadline below ACT
+		"0,1,1000,2,3,urgent", // unknown priority
+		"0,1,abc,2,3,medium",  // unparseable number
+		"x,1,1000,2,3,medium", // unparseable id
+	}
+	for _, row := range cases {
+		in := "id,arrival,size_mi,act,deadline,priority\n" + row + "\n"
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("row %q accepted", row)
+		}
+	}
+}
+
+func TestReadTraceRejectsEmpty(t *testing.T) {
+	in := "id,arrival,size_mi,act,deadline,priority\n"
+	if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+		t.Fatal("expected error for empty trace")
+	}
+}
+
+func TestReadTraceRejectsWrongFieldCount(t *testing.T) {
+	in := "id,arrival,size_mi,act,deadline,priority\n0,1,1000,2,3\n"
+	if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+		t.Fatal("expected error for short record")
+	}
+}
+
+func TestParsePriority(t *testing.T) {
+	for _, p := range Priorities {
+		got, err := ParsePriority(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePriority(%s) = %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParsePriority("HIGH"); err == nil {
+		t.Fatal("priority names are lowercase only")
+	}
+}
+
+func TestPriorityMismatchRejected(t *testing.T) {
+	// Deadline implies slack 50% (medium); claiming high must fail
+	// Task.Validate inside ReadTrace.
+	in := "id,arrival,size_mi,act,deadline,priority\n0,1,1000,2,3,high\n"
+	if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+		t.Fatal("expected priority/slack consistency error")
+	}
+}
