@@ -19,8 +19,9 @@ import (
 // full method sets remain available through the public API.
 type (
 	// Profile bundles every knob of an experiment campaign: platform
-	// generation, workload scaling, engine parameters, replication count
-	// and base seed.
+	// generation, workload scaling, engine parameters, replication count,
+	// base seed and the Workers parallelism bound (0 = one worker per CPU,
+	// 1 = serial; results are bit-identical at any worker count).
 	Profile = experiments.Profile
 	// RunSpec selects a single simulation point: policy, task count,
 	// optional heterogeneity override and seed.
@@ -82,6 +83,12 @@ func DefaultProfile() Profile { return experiments.DefaultProfile() }
 
 // Run executes one simulation point under the profile.
 func Run(p Profile, spec RunSpec) (Result, error) { return experiments.Run(p, spec) }
+
+// RunMany executes a batch of simulation points, fanned over
+// Profile.Workers goroutines, and returns results in spec order. Every
+// point derives its randomness from its RunSpec alone, so the results
+// are bit-identical to running the specs serially.
+func RunMany(p Profile, specs []RunSpec) ([]Result, error) { return experiments.RunMany(p, specs) }
 
 // NewPolicy constructs a fresh policy instance by name.
 func NewPolicy(name PolicyName) (Policy, error) { return experiments.NewPolicy(name) }

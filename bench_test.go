@@ -7,6 +7,7 @@ package rlsched_test
 // EXPERIMENTS.md documents the expected shapes.
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func benchProfile() rlsched.Profile {
 // benchmark output.
 func reportSeries(b *testing.B, fig rlsched.Figure) {
 	b.Helper()
-	for _, s := range fig.Series {
+	for i, s := range fig.Series {
 		if len(s.Y) == 0 {
 			continue
 		}
@@ -39,7 +40,11 @@ func reportSeries(b *testing.B, fig rlsched.Figure) {
 			}
 		}, s.Label)
 		if len(label) > 24 {
-			label = label[:24]
+			// Truncation can make two long labels collide (and ReportMetric
+			// silently keeps only one of the colliding metrics), so embed the
+			// series index to keep truncated labels unique.
+			suffix := fmt.Sprintf("~%d", i)
+			label = label[:24-len(suffix)] + suffix
 		}
 		b.ReportMetric(s.Y[0], label+"/first")
 		b.ReportMetric(s.Y[len(s.Y)-1], label+"/last")

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	experiments [-fig 7|8|9|10|11|12|all] [-reps N] [-seed S]
-//	            [-period T] [-sizescale F] [-csv] [-chart]
+//	            [-period T] [-sizescale F] [-workers W] [-csv] [-chart]
 //
 // Each figure prints as an aligned table (default), optionally with an
 // ASCII chart and CSV.
@@ -33,6 +33,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation table instead of figures")
 	outDir := flag.String("out", "", "directory to write one CSV per figure")
 	configPath := flag.String("config", "", "profile JSON (default: built-in profile)")
+	workers := flag.Int("workers", 0, "simulation points run concurrently (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	profile := experiments.DefaultProfile()
@@ -55,6 +56,9 @@ func main() {
 	}
 	if *sizeScale > 0 {
 		profile.SizeScale = *sizeScale
+	}
+	if *workers > 0 {
+		profile.Workers = *workers
 	}
 
 	if *ablations {

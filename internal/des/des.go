@@ -35,13 +35,19 @@ type EventFunc func(sim *Simulator)
 // Fire implements Event.
 func (f EventFunc) Fire(sim *Simulator) { f(sim) }
 
-// Handle identifies a scheduled event and allows cancellation.
+// Handle identifies a scheduled event and allows cancellation. Heap items
+// are recycled once fired or reaped, so the handle carries the item's
+// generation: a stale handle (whose item has been reused for a later
+// event) is inert rather than aliasing the new event.
 type Handle struct {
 	item *item
+	gen  uint64
 }
 
 // Cancelled reports whether the event was cancelled before firing.
-func (h Handle) Cancelled() bool { return h.item != nil && h.item.cancelled }
+func (h Handle) Cancelled() bool {
+	return h.item != nil && h.gen == h.item.gen && h.item.cancelled
+}
 
 // Valid reports whether the handle refers to a scheduled event.
 func (h Handle) Valid() bool { return h.item != nil }
@@ -50,6 +56,7 @@ func (h Handle) Valid() bool { return h.item != nil }
 type item struct {
 	at        Time
 	seq       uint64
+	gen       uint64
 	ev        Event
 	cancelled bool
 	index     int // heap index, -1 once popped
@@ -93,6 +100,11 @@ type Simulator struct {
 	fired   uint64
 	stopped bool
 
+	// free recycles popped heap items so steady-state scheduling does not
+	// allocate (a simulation fires millions of events; see item.gen for
+	// how stale Handles stay safe).
+	free []*item
+
 	// MaxEvents bounds the total number of fired events as a runaway
 	// guard; zero means no bound.
 	MaxEvents uint64
@@ -129,10 +141,25 @@ func (s *Simulator) At(at Time, ev Event) Handle {
 	if at < s.now {
 		panic(fmt.Sprintf("des: scheduling event in the past: at=%g now=%g", at, s.now))
 	}
-	it := &item{at: at, seq: s.seq, ev: ev}
+	var it *item
+	if n := len(s.free); n > 0 {
+		it = s.free[n-1]
+		s.free = s.free[:n-1]
+		it.at, it.seq, it.ev, it.cancelled = at, s.seq, ev, false
+	} else {
+		it = &item{at: at, seq: s.seq, ev: ev}
+	}
 	s.seq++
 	heap.Push(&s.queue, it)
-	return Handle{item: it}
+	return Handle{item: it, gen: it.gen}
+}
+
+// release returns a popped item to the free list. Bumping the generation
+// invalidates every outstanding Handle to it before reuse.
+func (s *Simulator) release(it *item) {
+	it.gen++
+	it.ev = nil
+	s.free = append(s.free, it)
 }
 
 // After schedules ev to fire delay time units from now. Negative delays
@@ -158,7 +185,7 @@ func (s *Simulator) AfterFunc(delay Time, f func(sim *Simulator)) Handle {
 // already-fired or already-cancelled event is a no-op. Returns whether the
 // event was actually cancelled by this call.
 func (s *Simulator) Cancel(h Handle) bool {
-	if h.item == nil || h.item.cancelled || h.item.index == -1 {
+	if h.item == nil || h.gen != h.item.gen || h.item.cancelled || h.item.index == -1 {
 		return false
 	}
 	h.item.cancelled = true
@@ -177,11 +204,14 @@ func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
 		it := heap.Pop(&s.queue).(*item)
 		if it.cancelled {
+			s.release(it)
 			continue
 		}
 		s.now = it.at
 		s.fired++
-		it.ev.Fire(s)
+		ev := it.ev
+		s.release(it)
+		ev.Fire(s)
 		return true
 	}
 	return false
@@ -231,7 +261,7 @@ func (s *Simulator) peekTime() (Time, bool) {
 	for len(s.queue) > 0 {
 		it := s.queue[0]
 		if it.cancelled {
-			heap.Pop(&s.queue)
+			s.release(heap.Pop(&s.queue).(*item))
 			continue
 		}
 		return it.at, true

@@ -27,7 +27,6 @@ import (
 	"rlsched/internal/platform"
 	"rlsched/internal/rng"
 	"rlsched/internal/sched"
-	"rlsched/internal/stats"
 	"rlsched/internal/workload"
 )
 
@@ -101,6 +100,12 @@ type Profile struct {
 	Seed uint64
 	// LightTasks and HeavyTasks define the Experiment 2/3 load states.
 	LightTasks, HeavyTasks int
+	// Workers bounds the number of simulation points run concurrently by
+	// figure sweeps and RunMany: 0 (the default) uses one worker per
+	// available CPU, 1 runs the exact serial path. Every point derives its
+	// randomness purely from its RunSpec, so results are bit-identical at
+	// any worker count; only wall-clock time changes.
+	Workers int
 }
 
 // DefaultProfile returns the tuned defaults used for every figure.
@@ -144,6 +149,8 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("experiments: Replications must be >= 1, got %d", p.Replications)
 	case p.LightTasks < 1 || p.HeavyTasks < p.LightTasks:
 		return fmt.Errorf("experiments: invalid light/heavy task counts %d/%d", p.LightTasks, p.HeavyTasks)
+	case p.Workers < 0:
+		return fmt.Errorf("experiments: Workers must be >= 0, got %d", p.Workers)
 	}
 	return p.Mix.Validate()
 }
@@ -164,18 +171,32 @@ type RunSpec struct {
 // without running it, so callers can inspect or reuse the scenario (e.g.
 // to run a custom policy on it via RunWith).
 func Build(p Profile, spec RunSpec) (*platform.Platform, []*workload.Task, error) {
+	pl, tasks, _, err := buildScenario(p, spec, workload.Generate)
+	return pl, tasks, err
+}
+
+// workloadGen produces the task list for one scenario; it exists so the
+// bursty extension can reuse buildScenario with a different generator.
+type workloadGen func(workload.GenConfig, *rng.Stream) ([]*workload.Task, error)
+
+// buildScenario constructs the platform and workload for one simulation
+// point and returns the scenario stream positioned just past the
+// "platform" and "workload" splits, so a caller's next split (e.g.
+// "engine") continues the exact deterministic draw sequence — rather than
+// re-deriving a second stream and replaying the splits by hand.
+func buildScenario(p Profile, spec RunSpec, gen workloadGen) (*platform.Platform, []*workload.Task, *rng.Stream, error) {
 	if err := p.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if spec.NumTasks < 1 {
-		return nil, nil, fmt.Errorf("experiments: NumTasks must be >= 1, got %d", spec.NumTasks)
+		return nil, nil, nil, fmt.Errorf("experiments: NumTasks must be >= 1, got %d", spec.NumTasks)
 	}
 	r := scenarioStream(spec)
 	pcfg := p.Platform
 	pcfg.HeterogeneityCV = spec.HeterogeneityCV
 	pl, err := platform.Generate(pcfg, r.Split("platform"))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	// Deadlines reference the referred slowest resource (§III.A), which
 	// the heterogeneity model pins at the platform's configured minimum
@@ -193,11 +214,11 @@ func Build(p Profile, spec RunSpec) (*platform.Platform, []*workload.Task, error
 		SlowestSpeedMIPS: p.Platform.MinSpeedMIPS,
 		Mix:              p.Mix,
 	}
-	tasks, err := workload.Generate(wcfg, r.Split("workload"))
+	tasks, err := gen(wcfg, r.Split("workload"))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return pl, tasks, nil
+	return pl, tasks, r, nil
 }
 
 // scenarioStream derives the deterministic stream for a run point.
@@ -208,13 +229,16 @@ func scenarioStream(spec RunSpec) *rng.Stream {
 // RunWith executes one simulation point with a caller-supplied policy
 // instance (which must be fresh: policies carry learned state).
 func RunWith(p Profile, spec RunSpec, policy sched.Policy) (sched.Result, error) {
-	pl, tasks, err := Build(p, spec)
+	return runScenario(p, spec, policy, workload.Generate)
+}
+
+// runScenario builds a scenario with gen and runs it under policy, using
+// the single stream buildScenario hands back for the engine split.
+func runScenario(p Profile, spec RunSpec, policy sched.Policy, gen workloadGen) (sched.Result, error) {
+	pl, tasks, r, err := buildScenario(p, spec, gen)
 	if err != nil {
 		return sched.Result{}, err
 	}
-	r := scenarioStream(spec)
-	r.Split("platform")
-	r.Split("workload")
 	eng, err := sched.New(p.Engine, pl, tasks, policy, r.Split("engine"))
 	if err != nil {
 		return sched.Result{}, err
@@ -246,34 +270,22 @@ type PointStat struct {
 	N          int
 }
 
-// runReplications executes the spec across seeds and reduces each result
-// through extract.
+// runReplications executes the spec across seeds (in parallel, per the
+// profile's worker count) and reduces each result through extract.
 func runReplications(p Profile, spec RunSpec, extract func(sched.Result) float64) (PointStat, error) {
-	var acc stats.Accumulator
-	for k := 0; k < p.Replications; k++ {
-		s := spec
-		s.Seed = p.Seed + uint64(k)
-		res, err := Run(p, s)
-		if err != nil {
-			return PointStat{}, err
-		}
-		acc.Add(extract(res))
+	results, err := RunMany(p, replicate(p, []RunSpec{spec}))
+	if err != nil {
+		return PointStat{}, err
 	}
-	return PointStat{Mean: acc.Mean(), CI95: acc.CI95(), N: acc.N()}, nil
+	return pointStats(p, results, extract)[0], nil
 }
 
 // seriesReplications averages a per-run series (e.g. utilisation by cycle
 // decile) element-wise over replications.
 func seriesReplications(p Profile, spec RunSpec, extract func(sched.Result) []float64) ([]float64, error) {
-	rows := make([][]float64, 0, p.Replications)
-	for k := 0; k < p.Replications; k++ {
-		s := spec
-		s.Seed = p.Seed + uint64(k)
-		res, err := Run(p, s)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, extract(res))
+	results, err := RunMany(p, replicate(p, []RunSpec{spec}))
+	if err != nil {
+		return nil, err
 	}
-	return stats.MeanSeries(rows), nil
+	return pointSeries(p, results, extract)[0], nil
 }

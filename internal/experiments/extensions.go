@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	"rlsched/internal/rng"
 	"rlsched/internal/sched"
-	"rlsched/internal/stats"
 	"rlsched/internal/workload"
 )
 
@@ -86,49 +86,39 @@ func FigureE2(p Profile) (Figure, error) {
 }
 
 // runBurstyReplications mirrors runReplications but generates the workload
-// with the modulated-Poisson generator when bursty is set.
+// with the modulated-Poisson generator when bursty is set: the same
+// scenario pipeline (and worker pool) with only the generator swapped.
 func runBurstyReplications(p Profile, name PolicyName, bursty bool) (PointStat, error) {
+	extract := func(r sched.Result) float64 { return r.AveRT }
 	if !bursty {
-		return runReplications(p, RunSpec{Policy: name, NumTasks: p.HeavyTasks},
-			func(r sched.Result) float64 { return r.AveRT })
+		return runReplications(p, RunSpec{Policy: name, NumTasks: p.HeavyTasks}, extract)
 	}
-	var acc stats.Accumulator
-	for k := 0; k < p.Replications; k++ {
-		spec := RunSpec{Policy: name, NumTasks: p.HeavyTasks, Seed: p.Seed + uint64(k)}
-		pl, _, err := Build(p, spec)
-		if err != nil {
-			return PointStat{}, err
-		}
-		bcfg := workload.BurstyConfig{
-			GenConfig: workload.GenConfig{
-				NumTasks:         spec.NumTasks,
-				MeanInterArrival: p.ObservationPeriod / float64(spec.NumTasks),
-				MinSizeMI:        600 * p.SizeScale,
-				MaxSizeMI:        7200 * p.SizeScale,
-				SlowestSpeedMIPS: p.Platform.MinSpeedMIPS,
-				Mix:              p.Mix,
-			},
+	gen := func(cfg workload.GenConfig, r *rng.Stream) ([]*workload.Task, error) {
+		return workload.GenerateBursty(workload.BurstyConfig{
+			GenConfig:    cfg,
 			BurstFactor:  4,
 			MeanBurstLen: 50,
 			MeanGapLen:   200,
-		}
-		r := scenarioStream(spec)
-		r.Split("platform")
-		tasks, err := workload.GenerateBursty(bcfg, r.Split("workload"))
-		if err != nil {
-			return PointStat{}, err
-		}
+		}, r)
+	}
+	specs := replicate(p, []RunSpec{{Policy: name, NumTasks: p.HeavyTasks}})
+	results := make([]sched.Result, len(specs))
+	err := forEachPoint(p.workerCount(), len(specs), func(i int) error {
 		policy, err := NewPolicy(name)
 		if err != nil {
-			return PointStat{}, err
+			return err
 		}
-		eng, err := sched.New(p.Engine, pl, tasks, policy, r.Split("engine"))
+		res, err := runScenario(p, specs[i], policy, gen)
 		if err != nil {
-			return PointStat{}, err
+			return fmt.Errorf("bursty seed=%d: %w", specs[i].Seed, err)
 		}
-		acc.Add(eng.Run().AveRT)
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return PointStat{}, err
 	}
-	return PointStat{Mean: acc.Mean(), CI95: acc.CI95(), N: acc.N()}, nil
+	return pointStats(p, results, extract)[0], nil
 }
 
 // PriorityMixes is the Figure E3 sweep: the §V.A note "the probabilities

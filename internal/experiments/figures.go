@@ -66,15 +66,25 @@ func Figure8(p Profile) (Figure, error) {
 }
 
 // sweepByPolicy runs the Figure 7/8 sweep shape: every policy across
-// TaskCounts.
+// TaskCounts. The whole grid — policies x task counts x replications — is
+// flattened into one spec list and fanned over the profile's workers;
+// the stats are then folded back into per-policy series in order.
 func sweepByPolicy(p Profile, fig Figure, extract func(sched.Result) float64) (Figure, error) {
+	points := make([]RunSpec, 0, len(AllPolicies)*len(TaskCounts))
 	for _, name := range AllPolicies {
-		s := Series{Label: string(name)}
 		for _, n := range TaskCounts {
-			pt, err := runReplications(p, RunSpec{Policy: name, NumTasks: n}, extract)
-			if err != nil {
-				return Figure{}, fmt.Errorf("%s/%s/n=%d: %w", fig.ID, name, n, err)
-			}
+			points = append(points, RunSpec{Policy: name, NumTasks: n})
+		}
+	}
+	results, err := RunMany(p, replicate(p, points))
+	if err != nil {
+		return Figure{}, fmt.Errorf("%s: %w", fig.ID, err)
+	}
+	stats := pointStats(p, results, extract)
+	for pi, name := range AllPolicies {
+		s := Series{Label: string(name)}
+		for ni, n := range TaskCounts {
+			pt := stats[pi*len(TaskCounts)+ni]
 			s.X = append(s.X, float64(n))
 			s.Y = append(s.Y, pt.Mean)
 			s.CI95 = append(s.CI95, pt.CI95)
@@ -111,14 +121,19 @@ func Figure10(p Profile) (Figure, error) {
 }
 
 func utilizationFigure(p Profile, fig Figure, numTasks int, loadLabel string) (Figure, error) {
-	for _, name := range []PolicyName{AdaptiveRL, OnlineRL} {
-		series, err := seriesReplications(p, RunSpec{Policy: name, NumTasks: numTasks},
-			func(r sched.Result) []float64 { return r.UtilWindows })
-		if err != nil {
-			return Figure{}, fmt.Errorf("%s/%s: %w", fig.ID, name, err)
-		}
+	policies := []PolicyName{AdaptiveRL, OnlineRL}
+	points := make([]RunSpec, 0, len(policies))
+	for _, name := range policies {
+		points = append(points, RunSpec{Policy: name, NumTasks: numTasks})
+	}
+	results, err := RunMany(p, replicate(p, points))
+	if err != nil {
+		return Figure{}, fmt.Errorf("%s: %w", fig.ID, err)
+	}
+	series := pointSeries(p, results, func(r sched.Result) []float64 { return r.UtilWindows })
+	for pi, name := range policies {
 		s := Series{Label: fmt.Sprintf("%s (%s)", name, loadLabel)}
-		for i, u := range series {
+		for i, u := range series[pi] {
 			if i < len(CycleFractions) {
 				s.X = append(s.X, CycleFractions[i])
 				s.Y = append(s.Y, u)
@@ -156,19 +171,28 @@ func Figure12(p Profile) (Figure, error) {
 }
 
 func heterogeneityFigure(p Profile, fig Figure, extract func(sched.Result) float64) (Figure, error) {
-	for _, load := range []struct {
+	loads := []struct {
 		label string
 		tasks int
 	}{
 		{"heavily-loaded", p.HeavyTasks},
 		{"lightly-loaded", p.LightTasks},
-	} {
-		s := Series{Label: load.label}
+	}
+	points := make([]RunSpec, 0, len(loads)*len(HeterogeneityLevels))
+	for _, load := range loads {
 		for _, cv := range HeterogeneityLevels {
-			pt, err := runReplications(p, RunSpec{Policy: AdaptiveRL, NumTasks: load.tasks, HeterogeneityCV: cv}, extract)
-			if err != nil {
-				return Figure{}, fmt.Errorf("%s/%s/cv=%g: %w", fig.ID, load.label, cv, err)
-			}
+			points = append(points, RunSpec{Policy: AdaptiveRL, NumTasks: load.tasks, HeterogeneityCV: cv})
+		}
+	}
+	results, err := RunMany(p, replicate(p, points))
+	if err != nil {
+		return Figure{}, fmt.Errorf("%s: %w", fig.ID, err)
+	}
+	stats := pointStats(p, results, extract)
+	for li, load := range loads {
+		s := Series{Label: load.label}
+		for ci, cv := range HeterogeneityLevels {
+			pt := stats[li*len(HeterogeneityLevels)+ci]
 			s.X = append(s.X, cv)
 			s.Y = append(s.Y, pt.Mean)
 			s.CI95 = append(s.CI95, pt.CI95)
@@ -201,15 +225,23 @@ func FigureByID(p Profile, id string) (Figure, error) {
 // AllFigureIDs lists the reproducible figures in paper order.
 var AllFigureIDs = []string{"figure7", "figure8", "figure9", "figure10", "figure11", "figure12"}
 
-// All regenerates every figure.
+// All regenerates every figure, running the figures themselves
+// concurrently on the profile's worker pool. Each figure additionally
+// fans its own points out, so small figures (9/10 have four points) do
+// not serialise the campaign behind the big sweeps; the Go scheduler
+// bounds actual parallelism at GOMAXPROCS regardless.
 func All(p Profile) ([]Figure, error) {
-	out := make([]Figure, 0, len(AllFigureIDs))
-	for _, id := range AllFigureIDs {
-		fig, err := FigureByID(p, id)
+	out := make([]Figure, len(AllFigureIDs))
+	err := forEachPoint(p.workerCount(), len(AllFigureIDs), func(i int) error {
+		fig, err := FigureByID(p, AllFigureIDs[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, fig)
+		out[i] = fig
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

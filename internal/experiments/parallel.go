@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rlsched/internal/sched"
+	"rlsched/internal/stats"
+)
+
+// Campaign parallelism. Every simulation point derives all of its
+// randomness from its RunSpec alone (see scenarioStream), shares no
+// mutable state with other points, and runs on its own single-threaded
+// simulator — so a figure's points are embarrassingly parallel and the
+// assembled figures are bit-identical at any worker count. The runner
+// below fans points over a bounded worker pool and writes each result
+// into its slot by index, keeping output order independent of goroutine
+// scheduling.
+
+// workerCount resolves Profile.Workers: 0 means one worker per available
+// CPU, anything else is taken literally.
+func (p Profile) workerCount() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachPoint invokes fn(i) for every i in [0, n) on up to workers
+// goroutines. With workers <= 1 it is a plain serial loop that stops at
+// the first error. In parallel it hands indices out in order, stops
+// issuing new work once any fn fails, and returns the error with the
+// lowest index — the same error the serial loop would surface, because
+// index i is always claimed before index i+1, so no failure with a
+// smaller index can be missed.
+func forEachPoint(workers, n int, fn func(i int) error) error {
+	if n < 2 || workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errIdx  = n
+		firstEr error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// RunMany executes every spec under the profile, fanning the points over
+// p.Workers goroutines (see Profile.Workers), and returns the results in
+// spec order. On failure it returns the error of the lowest-index failing
+// spec, wrapped with that spec's parameters, and discards the rest.
+func RunMany(p Profile, specs []RunSpec) ([]sched.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]sched.Result, len(specs))
+	err := forEachPoint(p.workerCount(), len(specs), func(i int) error {
+		res, err := Run(p, specs[i])
+		if err != nil {
+			s := specs[i]
+			return fmt.Errorf("point %d (%s n=%d cv=%g seed=%d): %w",
+				i, s.Policy, s.NumTasks, s.HeterogeneityCV, s.Seed, err)
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// replicate expands each base point into the profile's replications:
+// replication k of a point keeps its spec but runs with seed p.Seed+k.
+// The expansion is dense — point i's replications occupy indices
+// [i*Replications, (i+1)*Replications) — which is what pointStats and
+// pointSeries reduce back down.
+func replicate(p Profile, points []RunSpec) []RunSpec {
+	out := make([]RunSpec, 0, len(points)*p.Replications)
+	for _, pt := range points {
+		for k := 0; k < p.Replications; k++ {
+			s := pt
+			s.Seed = p.Seed + uint64(k)
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// pointStats reduces the results of a replicate()-expanded spec list to
+// one PointStat per base point via extract.
+func pointStats(p Profile, results []sched.Result, extract func(sched.Result) float64) []PointStat {
+	out := make([]PointStat, len(results)/p.Replications)
+	for i := range out {
+		var acc stats.Accumulator
+		for k := 0; k < p.Replications; k++ {
+			acc.Add(extract(results[i*p.Replications+k]))
+		}
+		out[i] = PointStat{Mean: acc.Mean(), CI95: acc.CI95(), N: acc.N()}
+	}
+	return out
+}
+
+// pointSeries is pointStats for per-run series metrics: it averages the
+// extracted series element-wise over each base point's replications.
+func pointSeries(p Profile, results []sched.Result, extract func(sched.Result) []float64) [][]float64 {
+	out := make([][]float64, len(results)/p.Replications)
+	rows := make([][]float64, p.Replications)
+	for i := range out {
+		for k := 0; k < p.Replications; k++ {
+			rows[k] = extract(results[i*p.Replications+k])
+		}
+		out[i] = stats.MeanSeries(rows)
+	}
+	return out
+}

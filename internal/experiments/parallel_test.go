@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkerCount(t *testing.T) {
+	p := DefaultProfile()
+	if got := p.workerCount(); got < 1 {
+		t.Fatalf("default workerCount = %d, want >= 1", got)
+	}
+	p.Workers = 3
+	if got := p.workerCount(); got != 3 {
+		t.Fatalf("workerCount = %d, want 3", got)
+	}
+}
+
+func TestProfileRejectsNegativeWorkers(t *testing.T) {
+	p := DefaultProfile()
+	p.Workers = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected validation error for Workers = -1")
+	}
+}
+
+func TestForEachPointCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 37
+		var hits [n]atomic.Int32
+		err := forEachPoint(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachPointLowestIndexError checks the error contract: whichever
+// worker finishes first, the reported error is the one the serial loop
+// would have hit (the lowest failing index), because indices are handed
+// out in order.
+func TestForEachPointLowestIndexError(t *testing.T) {
+	const n, firstBad = 64, 10
+	for _, workers := range []int{1, 2, 8} {
+		err := forEachPoint(workers, n, func(i int) error {
+			if i >= firstBad {
+				return fmt.Errorf("point %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		if want := fmt.Sprintf("point %d failed", firstBad); err.Error() != want {
+			t.Fatalf("workers=%d: got error %q, want %q", workers, err, want)
+		}
+	}
+}
+
+// TestForEachPointStopsIssuingWork checks cancellation: after a failure,
+// the parallel runner stops handing out new indices instead of draining
+// the whole list.
+func TestForEachPointStopsIssuingWork(t *testing.T) {
+	const n = 10_000
+	var ran atomic.Int32
+	err := forEachPoint(4, n, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("got error %v, want boom", err)
+	}
+	if got := ran.Load(); got >= n {
+		t.Fatalf("ran all %d points despite early failure", got)
+	}
+}
+
+// TestRunManyDeterministic is the core guarantee of the parallel
+// campaign runner: the full Result set is bit-identical between the
+// serial path and a heavily over-subscribed parallel run.
+func TestRunManyDeterministic(t *testing.T) {
+	p := fastProfile()
+	specs := replicate(p, []RunSpec{
+		{Policy: AdaptiveRL, NumTasks: 120},
+		{Policy: OnlineRL, NumTasks: 120},
+		{Policy: QPlus, NumTasks: 80, HeterogeneityCV: 0.5},
+		{Policy: Predictive, NumTasks: 80},
+	})
+	p.Workers = 1
+	serial, err := RunMany(p, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 8
+	par, err := RunMany(p, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("RunMany results differ between Workers=1 and Workers=8")
+	}
+}
+
+// TestRunManyErrorPropagation injects a failing point in the middle of a
+// spec list and expects the runner to surface exactly that point's error,
+// at any worker count.
+func TestRunManyErrorPropagation(t *testing.T) {
+	p := fastProfile()
+	specs := []RunSpec{
+		{Policy: AdaptiveRL, NumTasks: 50, Seed: 1},
+		{Policy: OnlineRL, NumTasks: 50, Seed: 1},
+		{Policy: "bogus", NumTasks: 50, Seed: 1},
+		{Policy: Predictive, NumTasks: 50, Seed: 1},
+	}
+	for _, workers := range []int{1, 8} {
+		p.Workers = workers
+		res, err := RunMany(p, specs)
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		if res != nil {
+			t.Fatalf("workers=%d: expected nil results on error", workers)
+		}
+		if !strings.Contains(err.Error(), "point 2") || !strings.Contains(err.Error(), "bogus") {
+			t.Fatalf("workers=%d: error %q does not identify point 2 (bogus)", workers, err)
+		}
+	}
+}
+
+// TestFigure7ParallelDeterministic regenerates Figure 7 serially and with
+// eight workers and requires bit-identical series.
+func TestFigure7ParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+	p := fastProfile()
+	p.LightTasks, p.HeavyTasks = 100, 300
+	p.Workers = 1
+	serial, err := Figure7(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 8
+	par, err := Figure7(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("Figure7 differs between Workers=1 and Workers=8")
+	}
+}
+
+// TestFigure11ParallelDeterministic covers the heterogeneity sweep, whose
+// specs exercise the HeterogeneityCV spec field in the scenario streams.
+func TestFigure11ParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+	p := fastProfile()
+	p.LightTasks, p.HeavyTasks = 60, 200
+	p.Workers = 1
+	serial, err := Figure11(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 8
+	par, err := Figure11(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("Figure11 differs between Workers=1 and Workers=8")
+	}
+}
+
+// TestReplicateLayout pins the dense layout pointStats/pointSeries rely
+// on: point i's replications at indices [i*R, (i+1)*R) with seeds
+// Seed..Seed+R-1.
+func TestReplicateLayout(t *testing.T) {
+	p := DefaultProfile()
+	p.Replications = 3
+	p.Seed = 7
+	specs := replicate(p, []RunSpec{
+		{Policy: AdaptiveRL, NumTasks: 10},
+		{Policy: OnlineRL, NumTasks: 20},
+	})
+	if len(specs) != 6 {
+		t.Fatalf("got %d specs, want 6", len(specs))
+	}
+	for i, s := range specs {
+		wantPolicy := AdaptiveRL
+		wantTasks := 10
+		if i >= 3 {
+			wantPolicy, wantTasks = OnlineRL, 20
+		}
+		if s.Policy != wantPolicy || s.NumTasks != wantTasks || s.Seed != 7+uint64(i%3) {
+			t.Fatalf("spec %d = %+v", i, s)
+		}
+	}
+}

@@ -156,7 +156,19 @@ type Engine struct {
 	retries    [][]retryEntry      // by node ID: aborted executions awaiting re-dispatch
 	taskGroup  map[int]*grouping.Group
 	groupAgent map[int]*Agent
-	running    map[int]runningTask // by processor ID
+	running    []runningTask // by processor ID; an entry is live while task != nil
+
+	// Per-decision scratch reused across scheduling events so the hot path
+	// stays allocation-free: candBuf backs the candidate slice handed to
+	// PlaceGroup, idleBuf the dispatch order, procPower the per-node
+	// NodeInfo power vectors, and candMark/candGen the O(1) candidate
+	// membership index (a node is a current candidate iff its mark equals
+	// the generation of the latest freeCandidates call).
+	candBuf   []NodeInfo
+	idleBuf   []*platform.Processor
+	procPower [][]float64
+	candMark  []uint64
+	candGen   uint64
 
 	rngRoute    *rng.Stream
 	rngFail     *rng.Stream
@@ -199,13 +211,24 @@ func New(cfg Config, pl *platform.Platform, tasks []*workload.Task, policy Polic
 		maxOpnum:   pl.MaxProcsPerNode(),
 		taskGroup:  make(map[int]*grouping.Group, len(tasks)),
 		groupAgent: make(map[int]*Agent),
-		running:    make(map[int]runningTask),
 		rngRoute:   r.Split("route"),
 		rngFail:    r.Split("failures"),
 	}
+	maxProcID := 0
+	for _, p := range pl.Processors() {
+		if p.ID > maxProcID {
+			maxProcID = p.ID
+		}
+	}
+	e.running = make([]runningTask, maxProcID+1)
 	e.queues = make([][]*grouping.Group, pl.NumNodes())
 	e.accts = make([]nodeAcct, pl.NumNodes())
 	e.retries = make([][]retryEntry, pl.NumNodes())
+	e.procPower = make([][]float64, pl.NumNodes())
+	e.candMark = make([]uint64, pl.NumNodes())
+	for _, n := range pl.Nodes() {
+		e.procPower[n.ID] = make([]float64, len(n.Processors))
+	}
 	for _, site := range pl.Sites {
 		ag := &Agent{ID: site.ID, Site: site}
 		ag.Merger = grouping.NewMerger(grouping.ModeMixed, e.nextGroup)
@@ -240,6 +263,15 @@ func MustNew(cfg Config, pl *platform.Platform, tasks []*workload.Task, policy P
 		panic(err)
 	}
 	return e
+}
+
+// tracing reports whether events at level are being collected. Hot-path
+// emit calls are guarded by it so the variadic field slice (and the
+// interface boxing inside trace.F) is never built when tracing is off —
+// with a nil Tracer a scheduling event pays only this nil check.
+func (e *Engine) tracing(level trace.Level) bool {
+	t := e.cfg.Tracer
+	return t != nil && t.Enabled(level)
 }
 
 // emit sends a trace event when tracing is enabled.
@@ -317,7 +349,9 @@ func (e *Engine) buildResult() Result {
 // onArrival routes a task to a site agent and merges it.
 func (e *Engine) onArrival(t *workload.Task) {
 	ag := e.agents[e.rngRoute.WeightedChoice(e.siteWeights)]
-	e.emit(trace.LevelDebug, "arrival", trace.F("task", t.ID), trace.F("agent", ag.ID), trace.F("prio", t.Priority.String()))
+	if e.tracing(trace.LevelDebug) {
+		e.emit(trace.LevelDebug, "arrival", trace.F("task", t.ID), trace.F("agent", ag.ID), trace.F("prio", t.Priority.String()))
+	}
 	action := e.ctx.validateAction(e.policy.ChooseAction(e.ctx, ag, t))
 	ag.Merger.SetMode(action.Mode)
 	if g := ag.Merger.Add(t, action.Opnum, e.sim.Now()); g != nil {
@@ -412,7 +446,10 @@ func (e *Engine) queuedWeight(n *platform.Node) float64 {
 	return sum
 }
 
-// nodeInfo builds the policy-visible state of a node.
+// nodeInfo builds the policy-visible state of a node. The returned view's
+// ProcPower aliases an engine-owned per-node buffer that is refreshed on
+// the next view of the same node, so views must not be retained across
+// scheduling events (see the NodeInfo contract in policy.go).
 func (e *Engine) nodeInfo(n *platform.Node) NodeInfo {
 	q := e.queues[n.ID]
 	ni := NodeInfo{
@@ -420,7 +457,7 @@ func (e *Engine) nodeInfo(n *platform.Node) NodeInfo {
 		QueuedGroups: len(q),
 		FreeSlots:    n.QueueCap - len(q),
 		QueuedWeight: e.queuedWeight(n),
-		ProcPower:    make([]float64, len(n.Processors)),
+		ProcPower:    e.procPower[n.ID],
 	}
 	for _, g := range q {
 		for _, t := range g.Tasks[g.Dispatched():] {
@@ -428,12 +465,10 @@ func (e *Engine) nodeInfo(n *platform.Node) NodeInfo {
 		}
 	}
 	now := e.sim.Now()
-	for _, p := range n.Processors {
-		if rt, ok := e.running[p.ID]; ok && rt.finishAt > now {
+	for i, p := range n.Processors {
+		if rt := &e.running[p.ID]; rt.task != nil && rt.finishAt > now {
 			ni.InflightWork += (rt.finishAt - now) * rt.speed
 		}
-	}
-	for i, p := range n.Processors {
 		switch p.State() {
 		case platform.StateBusy:
 			ni.ProcPower[i] = p.InstantPower()
@@ -457,37 +492,41 @@ func (e *Engine) nodeInfo(n *platform.Node) NodeInfo {
 func (e *Engine) place(ag *Agent, g *grouping.Group) {
 	candidates := e.freeCandidates(ag)
 	if len(candidates) == 0 {
-		e.emit(trace.LevelInfo, "backlog", trace.F("group", g.ID), trace.F("agent", ag.ID))
+		if e.tracing(trace.LevelInfo) {
+			e.emit(trace.LevelInfo, "backlog", trace.F("group", g.ID), trace.F("agent", ag.ID))
+		}
 		ag.backlog = append(ag.backlog, g)
 		return
 	}
 	node := e.policy.PlaceGroup(e.ctx, ag, g, candidates)
-	if !e.isCandidate(node, candidates) {
+	if !e.isCandidate(node) {
 		node = e.leastLoaded(candidates)
 	}
 	e.enqueue(ag, g, node)
 }
 
+// freeCandidates lists the agent's nodes with a free queue slot. The
+// returned slice is engine-owned scratch, valid until the next call; each
+// listed node is stamped with the current candidate generation so
+// membership checks are O(1).
 func (e *Engine) freeCandidates(ag *Agent) []NodeInfo {
-	var out []NodeInfo
+	out := e.candBuf[:0]
+	e.candGen++
 	for _, n := range ag.Site.Nodes {
 		if n.QueueCap-len(e.queues[n.ID]) > 0 {
 			out = append(out, e.nodeInfo(n))
+			e.candMark[n.ID] = e.candGen
 		}
 	}
+	e.candBuf = out
 	return out
 }
 
-func (e *Engine) isCandidate(n *platform.Node, candidates []NodeInfo) bool {
-	if n == nil {
-		return false
-	}
-	for _, c := range candidates {
-		if c.Node == n {
-			return true
-		}
-	}
-	return false
+// isCandidate reports whether n was offered by the latest freeCandidates
+// call, via the generation stamp rather than a scan (policies may return
+// arbitrary nodes, including ones the engine never generated).
+func (e *Engine) isCandidate(n *platform.Node) bool {
+	return n != nil && n.ID >= 0 && n.ID < len(e.candMark) && e.candMark[n.ID] == e.candGen
 }
 
 // leastLoaded returns the candidate with the smallest queued weight,
@@ -521,8 +560,10 @@ func (e *Engine) enqueue(ag *Agent, g *grouping.Group, node *platform.Node) {
 	for _, t := range g.Tasks {
 		e.taskGroup[t.ID] = g
 	}
-	e.emit(trace.LevelInfo, "enqueue",
-		trace.F("group", g.ID), trace.F("node", node.ID), trace.F("size", g.Len()), trace.F("errtg", g.ErrTG))
+	if e.tracing(trace.LevelInfo) {
+		e.emit(trace.LevelInfo, "enqueue",
+			trace.F("group", g.ID), trace.F("node", node.ID), trace.F("size", g.Len()), trace.F("errtg", g.ErrTG))
+	}
 	e.policy.OnAssigned(e.ctx, ag, g, node)
 	e.tryDispatch(node)
 }
@@ -607,14 +648,16 @@ func (e *Engine) nextDispatchable(node *platform.Node) (*workload.Task, *groupin
 }
 
 // idleProcs lists awake idle processors — in index order by default, or
-// fastest-first when SpeedAwareDispatch is enabled.
+// fastest-first when SpeedAwareDispatch is enabled. The returned slice is
+// engine-owned scratch, valid until the next call.
 func (e *Engine) idleProcs(node *platform.Node) []*platform.Processor {
-	var out []*platform.Processor
+	out := e.idleBuf[:0]
 	for _, p := range node.Processors {
 		if p.State() == platform.StateIdle {
 			out = append(out, p)
 		}
 	}
+	e.idleBuf = out
 	if e.cfg.SpeedAwareDispatch {
 		for i := 1; i < len(out); i++ {
 			for j := i; j > 0 && out[j].EffectiveSpeed() > out[j-1].EffectiveSpeed(); j-- {
@@ -640,8 +683,10 @@ func (e *Engine) startTask(node *platform.Node, proc *platform.Processor, g *gro
 	if !retry {
 		g.NoteDispatched()
 	}
-	e.emit(trace.LevelDebug, "dispatch",
-		trace.F("task", task.ID), trace.F("group", g.ID), trace.F("proc", proc.ID), trace.F("retry", retry))
+	if e.tracing(trace.LevelDebug) {
+		e.emit(trace.LevelDebug, "dispatch",
+			trace.F("task", task.ID), trace.F("group", g.ID), trace.F("proc", proc.ID), trace.F("retry", retry))
+	}
 	task.StartTime = now
 	speed := proc.EffectiveSpeed()
 	task.ProcessorSpeed = speed
@@ -668,7 +713,7 @@ func (e *Engine) lazyThrottle(proc *platform.Processor, task *workload.Task, now
 // finishTask completes a task execution.
 func (e *Engine) finishTask(node *platform.Node, proc *platform.Processor, g *grouping.Group, task *workload.Task) {
 	now := e.sim.Now()
-	delete(e.running, proc.ID)
+	e.running[proc.ID] = runningTask{}
 	e.touchAcct(node).busy--
 	task.FinishTime = now
 	proc.NoteTaskRun()
@@ -685,8 +730,10 @@ func (e *Engine) finishTask(node *platform.Node, proc *platform.Processor, g *gr
 		MetDeadline:  met,
 		FinishedAt:   now,
 	})
-	e.emit(trace.LevelDebug, "finish",
-		trace.F("task", task.ID), trace.F("proc", proc.ID), trace.F("met", met))
+	if e.tracing(trace.LevelDebug) {
+		e.emit(trace.LevelDebug, "finish",
+			trace.F("task", task.ID), trace.F("proc", proc.ID), trace.F("met", met))
+	}
 	e.completed++
 	if g.NoteFinished(met) {
 		e.completeGroup(g, node)
@@ -733,8 +780,10 @@ func (e *Engine) completeGroup(g *grouping.Group, node *platform.Node) {
 		LVal:        exp.LVal(),
 		CompletedAt: now,
 	})
-	e.emit(trace.LevelInfo, "group-complete",
-		trace.F("group", g.ID), trace.F("reward", g.Reward()), trace.F("size", g.Len()))
+	if e.tracing(trace.LevelInfo) {
+		e.emit(trace.LevelInfo, "group-complete",
+			trace.F("group", g.ID), trace.F("reward", g.Reward()), trace.F("size", g.Len()))
+	}
 	e.recordCycle(now)
 	ag.Cycles++
 	e.policy.OnGroupComplete(e.ctx, ag, g)
@@ -770,7 +819,7 @@ func (e *Engine) placeBacklog(ag *Agent) {
 		g := ag.backlog[0]
 		ag.backlog = ag.backlog[1:]
 		node := e.policy.PlaceGroup(e.ctx, ag, g, candidates)
-		if !e.isCandidate(node, candidates) {
+		if !e.isCandidate(node) {
 			node = e.leastLoaded(candidates)
 		}
 		e.enqueue(ag, g, node)
@@ -782,7 +831,9 @@ func (e *Engine) sleepProcessor(p *platform.Processor) {
 	if p.State() != platform.StateIdle {
 		return
 	}
-	e.emit(trace.LevelDebug, "sleep", trace.F("proc", p.ID))
+	if e.tracing(trace.LevelDebug) {
+		e.emit(trace.LevelDebug, "sleep", trace.F("proc", p.ID))
+	}
 	p.SetState(platform.StateSleep, e.sim.Now())
 }
 
@@ -790,7 +841,9 @@ func (e *Engine) sleepProcessor(p *platform.Processor) {
 // state (drawing peak power) for its wake latency, then becomes idle and
 // dispatch resumes.
 func (e *Engine) wake(node *platform.Node, p *platform.Processor) {
-	e.emit(trace.LevelDebug, "wake", trace.F("proc", p.ID), trace.F("node", node.ID))
+	if e.tracing(trace.LevelDebug) {
+		e.emit(trace.LevelDebug, "wake", trace.F("proc", p.ID), trace.F("node", node.ID))
+	}
 	p.SetState(platform.StateWaking, e.sim.Now())
 	e.sim.AfterFunc(p.WakeLatency, func(*des.Simulator) {
 		if p.State() == platform.StateWaking {
@@ -815,26 +868,32 @@ func (e *Engine) failProcessor(node *platform.Node, proc *platform.Processor) {
 	}
 	now := e.sim.Now()
 	e.failures++
-	if rt, ok := e.running[proc.ID]; ok {
+	if rt := e.running[proc.ID]; rt.task != nil {
 		e.sim.Cancel(rt.handle)
-		delete(e.running, proc.ID)
+		e.running[proc.ID] = runningTask{}
 		acct := e.touchAcct(node)
 		acct.busy--
 		acct.undispatched++
 		rt.task.StartTime = -1
 		e.retries[node.ID] = append(e.retries[node.ID], retryEntry{task: rt.task, group: rt.group})
 		e.restarts++
-		e.emit(trace.LevelWarn, "failure",
-			trace.F("proc", proc.ID), trace.F("aborted", rt.task.ID))
+		if e.tracing(trace.LevelWarn) {
+			e.emit(trace.LevelWarn, "failure",
+				trace.F("proc", proc.ID), trace.F("aborted", rt.task.ID))
+		}
 	} else {
-		e.emit(trace.LevelWarn, "failure", trace.F("proc", proc.ID))
+		if e.tracing(trace.LevelWarn) {
+			e.emit(trace.LevelWarn, "failure", trace.F("proc", proc.ID))
+		}
 	}
 	proc.SetState(platform.StateFailed, now)
 	e.sim.AfterFunc(e.cfg.RepairTime, func(*des.Simulator) {
 		if proc.State() == platform.StateFailed {
 			proc.SetState(platform.StateIdle, e.sim.Now())
 		}
-		e.emit(trace.LevelInfo, "repair", trace.F("proc", proc.ID))
+		if e.tracing(trace.LevelInfo) {
+			e.emit(trace.LevelInfo, "repair", trace.F("proc", proc.ID))
+		}
 		e.tryDispatch(node)
 		if !e.done() {
 			e.scheduleFailure(node, proc)

@@ -1,0 +1,49 @@
+package sched
+
+import (
+	"testing"
+
+	"rlsched/internal/platform"
+	"rlsched/internal/rng"
+	"rlsched/internal/workload"
+)
+
+// BenchmarkEngineAllocs measures a complete simulation run with allocation
+// accounting, isolating the engine's hot path: scenario generation happens
+// with the timer (and alloc counter) stopped, so allocs/op is dominated by
+// per-event work — event scheduling, node views, candidate lists, dispatch.
+// It is the regression gate for the scratch-buffer reuse in nodeInfo/
+// freeCandidates/idleProcs and the des event pool.
+func BenchmarkEngineAllocs(b *testing.B) {
+	pcfg := platform.DefaultGenConfig()
+	pcfg.Sites = 5
+	pcfg.MinNodesPerSite, pcfg.MaxNodesPerSite = 2, 2
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := rng.NewStream(uint64(i+1), "engine-bench")
+		pl, err := platform.Generate(pcfg, r.Split("platform"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		wcfg := workload.GenConfig{
+			NumTasks:         1500,
+			MeanInterArrival: 1,
+			MinSizeMI:        600 * 5.6,
+			MaxSizeMI:        7200 * 5.6,
+			SlowestSpeedMIPS: pcfg.MinSpeedMIPS,
+			Mix:              workload.DefaultMix(),
+		}
+		tasks, err := workload.Generate(wcfg, r.Split("workload"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := MustNew(cfg, pl, tasks, NewGreedy(), r.Split("engine"))
+		b.StartTimer()
+		res := eng.Run()
+		if res.Completed != len(tasks) {
+			b.Fatalf("run completed %d/%d tasks", res.Completed, len(tasks))
+		}
+	}
+}

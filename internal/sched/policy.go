@@ -35,6 +35,12 @@ type Action struct {
 // NodeInfo is the engine's view of one node offered to a policy at
 // placement time — the observed state S_c(t) = (Load, q−, PP_1..m) of
 // §IV.B plus derived conveniences.
+//
+// A NodeInfo is a snapshot valid only for the duration of the policy call
+// it was passed to (or the Context call that produced it): the engine
+// reuses the backing storage — in particular ProcPower — on the next view
+// of the same node. Policies that need state beyond the call must copy the
+// values they care about (see MemoryState, which copies by construction).
 type NodeInfo struct {
 	Node *platform.Node
 	// QueuedGroups is the number of groups currently occupying slots.
@@ -113,7 +119,9 @@ type Policy interface {
 	// PlaceGroup selects a node for a closed group from candidates (all
 	// nodes of the agent's site that have a free queue slot; never empty).
 	// Returning nil, or a node not among the candidates, makes the engine
-	// fall back to the least-loaded candidate.
+	// fall back to the least-loaded candidate. The candidates slice and
+	// the NodeInfos in it are engine-owned scratch, valid only until the
+	// call returns.
 	PlaceGroup(ctx *Context, ag *Agent, g *grouping.Group, candidates []NodeInfo) *platform.Node
 	// OnAssigned is feedback immediately after placement: the error value
 	// err_tg (Eq. 9) is already recorded on the group. The paper notes the

@@ -1,0 +1,18 @@
+#!/bin/sh
+# check.sh — the repo's pre-merge gate: vet, build, full tests, then the
+# race detector over the short-mode suite (the full figure sweeps under
+# -race would take tens of minutes; the short suite still runs every
+# parallel-runner and engine test). Pass FULL_RACE=1 to run the race
+# detector over the complete suite instead.
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test ./...
+if [ "${FULL_RACE:-0}" = "1" ]; then
+	go test -race ./...
+else
+	go test -race -short ./...
+fi
+echo "check.sh: all gates passed"
