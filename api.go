@@ -1,6 +1,7 @@
 package rlsched
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -11,6 +12,7 @@ import (
 	"rlsched/internal/report"
 	"rlsched/internal/rng"
 	"rlsched/internal/sched"
+	"rlsched/internal/server"
 	"rlsched/internal/trace"
 	"rlsched/internal/workload"
 )
@@ -254,3 +256,56 @@ type Timeline = trace.Timeline
 
 // NewTimeline creates an empty timeline collector.
 func NewTimeline() *Timeline { return trace.NewTimeline() }
+
+// Simulation-as-a-service types, backing the rlsimd daemon. JobSpec is
+// the wire schema of one submitted job; JobServer is the embeddable
+// http.Handler implementing the /v1/jobs API.
+type (
+	// JobSpec describes one daemon job: a figure to regenerate or an
+	// explicit point list, plus a profile.
+	JobSpec = config.JobSpec
+	// JobState is the lifecycle state of a submitted job.
+	JobState = server.State
+	// JobStatus is the wire snapshot of one job's progress.
+	JobStatus = server.JobStatus
+	// JobResult is the payload returned for a completed job.
+	JobResult = server.JobResult
+	// JobServer is the job-queue HTTP handler served by cmd/rlsimd.
+	JobServer = server.Server
+	// JobServerOptions sizes the worker pool and queue of a JobServer.
+	JobServerOptions = server.Options
+)
+
+// Job kinds accepted by JobSpec.Kind.
+const (
+	JobKindFigure = config.JobFigure
+	JobKindPoints = config.JobPoints
+)
+
+// NewJobServer builds a job-queue server; serve it with net/http and
+// stop it with Shutdown.
+func NewJobServer(opts JobServerOptions) *JobServer { return server.New(opts) }
+
+// MarshalJobSpec renders a job spec as indented JSON, refusing invalid
+// specs; UnmarshalJobSpec is its strict inverse (unknown fields and
+// malformed shapes are rejected, omitted profile fields keep defaults).
+func MarshalJobSpec(s JobSpec) ([]byte, error) { return config.MarshalJob(s) }
+
+// UnmarshalJobSpec parses and validates a JSON job spec.
+func UnmarshalJobSpec(data []byte) (JobSpec, error) { return config.UnmarshalJob(data) }
+
+// RunManyContext is RunMany under a context: cancelling ctx stops
+// launching new points and returns ctx's error.
+func RunManyContext(ctx context.Context, p Profile, specs []RunSpec) ([]Result, error) {
+	return experiments.RunManyCtx(ctx, p, specs)
+}
+
+// FigureByIDContext is FigureByID under a context.
+func FigureByIDContext(ctx context.Context, p Profile, id string) (Figure, error) {
+	return experiments.FigureByIDCtx(ctx, p, id)
+}
+
+// AllFiguresContext is AllFigures under a context.
+func AllFiguresContext(ctx context.Context, p Profile) ([]Figure, error) {
+	return experiments.AllCtx(ctx, p)
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -22,26 +23,35 @@ import (
 )
 
 func main() {
-	figID := flag.String("fig", "all", "figure to regenerate: 7..12, E1, E2, ext, or all")
-	reps := flag.Int("reps", 0, "replications per point (0 = profile default)")
-	seed := flag.Uint64("seed", 0, "base seed (0 = profile default)")
-	period := flag.Float64("period", 0, "observation period override (time units)")
-	sizeScale := flag.Float64("sizescale", 0, "task-size scale override")
-	csv := flag.Bool("csv", false, "also print CSV")
-	chart := flag.Bool("chart", false, "also print an ASCII chart")
-	md := flag.Bool("md", false, "print as a markdown table instead of aligned text")
-	ablations := flag.Bool("ablations", false, "run the design-choice ablation table instead of figures")
-	outDir := flag.String("out", "", "directory to write one CSV per figure")
-	configPath := flag.String("config", "", "profile JSON (default: built-in profile)")
-	workers := flag.Int("workers", 0, "simulation points run concurrently (0 = one per CPU, 1 = serial)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	figID := fs.String("fig", "all", "figure to regenerate: 7..12, E1, E2, ext, or all")
+	reps := fs.Int("reps", 0, "replications per point (0 = profile default)")
+	seed := fs.Uint64("seed", 0, "base seed (0 = profile default)")
+	period := fs.Float64("period", 0, "observation period override (time units)")
+	sizeScale := fs.Float64("sizescale", 0, "task-size scale override")
+	csv := fs.Bool("csv", false, "also print CSV")
+	chart := fs.Bool("chart", false, "also print an ASCII chart")
+	md := fs.Bool("md", false, "print as a markdown table instead of aligned text")
+	ablations := fs.Bool("ablations", false, "run the design-choice ablation table instead of figures")
+	outDir := fs.String("out", "", "directory to write one CSV per figure")
+	configPath := fs.String("config", "", "profile JSON (default: built-in profile)")
+	workers := fs.Int("workers", 0, "simulation points run concurrently (0 = one per CPU, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	profile := experiments.DefaultProfile()
 	if *configPath != "" {
 		f, err := config.Load(*configPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		profile = f.Profile
 	}
@@ -65,12 +75,12 @@ func main() {
 		start := time.Now()
 		results, err := experiments.RunAblations(profile, experiments.DefaultAblationArms())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Print(report.AblationTable(results))
-		fmt.Printf("(ablations run in %v)\n", time.Since(start).Round(time.Millisecond))
-		return
+		fmt.Fprint(stdout, report.AblationTable(results))
+		fmt.Fprintf(stdout, "(ablations run in %v)\n", time.Since(start).Round(time.Millisecond))
+		return 0
 	}
 
 	ids := experiments.AllFigureIDs
@@ -88,32 +98,33 @@ func main() {
 			fig, err = experiments.ExtensionFigureByID(profile, id)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 1
 		}
 		if *md {
-			fmt.Print(report.Markdown(fig))
+			fmt.Fprint(stdout, report.Markdown(fig))
 		} else {
-			fmt.Print(report.Table(fig))
+			fmt.Fprint(stdout, report.Table(fig))
 		}
 		if *chart {
-			fmt.Print(report.Chart(fig, 72, 18))
+			fmt.Fprint(stdout, report.Chart(fig, 72, 18))
 		}
 		if *csv {
-			fmt.Print(report.CSV(fig))
+			fmt.Fprint(stdout, report.CSV(fig))
 		}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 			path := filepath.Join(*outDir, fig.ID+".csv")
 			if err := os.WriteFile(path, []byte(report.CSV(fig)), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
-			fmt.Printf("(wrote %s)\n", path)
+			fmt.Fprintf(stdout, "(wrote %s)\n", path)
 		}
-		fmt.Printf("(%s regenerated in %v)\n\n", fig.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s regenerated in %v)\n\n", fig.ID, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

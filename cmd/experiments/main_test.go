@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "flag provided but not defined") {
+		t.Fatalf("stderr: %q", errOut.String())
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-fig", "99"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown") {
+		t.Fatalf("stderr: %q", errOut.String())
+	}
+}
+
+func TestRunBadConfigPath(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-config", filepath.Join(t.TempDir(), "missing.json")}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+}
+
+// TestRunTinyFigure regenerates figure 10 under a deliberately tiny
+// config file: the full CLI path from flags through config.Load to the
+// figure sweep and table report.
+func TestRunTinyFigure(t *testing.T) {
+	cfgPath := filepath.Join(t.TempDir(), "tiny.json")
+	cfg := `{"profile": {"Replications": 1, "ObservationPeriod": 300, "LightTasks": 30, "HeavyTasks": 50, "Workers": 2}}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-fig", "10", "-config", cfgPath, "-csv"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr=%q", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"figure10", "regenerated in"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -17,23 +17,32 @@ import (
 )
 
 func main() {
-	policy := flag.String("policy", "adaptive-rl",
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rlsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	policy := fs.String("policy", "adaptive-rl",
 		"policy: adaptive-rl | online-rl | q+-learning | prediction-based | greedy")
-	n := flag.Int("n", 1000, "number of tasks")
-	cv := flag.Float64("cv", 0, "heterogeneity override (0 = nominal platform)")
-	seed := flag.Uint64("seed", 1, "seed")
-	configPath := flag.String("config", "", "profile JSON (default: built-in profile)")
-	dumpTasks := flag.String("dump-tasks", "", "write per-task records CSV to this file")
-	dumpGroups := flag.String("dump-groups", "", "write per-group records CSV to this file")
-	dumpGantt := flag.String("dump-gantt", "", "write the per-processor schedule (Gantt CSV) to this file")
-	flag.Parse()
+	n := fs.Int("n", 1000, "number of tasks")
+	cv := fs.Float64("cv", 0, "heterogeneity override (0 = nominal platform)")
+	seed := fs.Uint64("seed", 1, "seed")
+	configPath := fs.String("config", "", "profile JSON (default: built-in profile)")
+	dumpTasks := fs.String("dump-tasks", "", "write per-task records CSV to this file")
+	dumpGroups := fs.String("dump-groups", "", "write per-group records CSV to this file")
+	dumpGantt := fs.String("dump-gantt", "", "write the per-processor schedule (Gantt CSV) to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	profile := rlsched.DefaultProfile()
 	if *configPath != "" {
 		f, err := rlsched.LoadConfig(*configPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		profile = f.Profile
 	}
@@ -51,20 +60,20 @@ func main() {
 		Seed:            *seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
-	fmt.Printf("policy            %s\n", res.Policy)
-	fmt.Printf("tasks             %d submitted, %d completed\n", res.Submitted, res.Completed)
-	fmt.Printf("avg response time %.2f t units (wait %.2f, p95 %.2f)\n",
+	fmt.Fprintf(stdout, "policy            %s\n", res.Policy)
+	fmt.Fprintf(stdout, "tasks             %d submitted, %d completed\n", res.Submitted, res.Completed)
+	fmt.Fprintf(stdout, "avg response time %.2f t units (wait %.2f, p95 %.2f)\n",
 		res.AveRT, res.MeanWait, res.Collector.RTPercentile(95))
-	fmt.Printf("energy (ECS)      %.3f million W·t (%.1f per task, idle share %.1f%%)\n",
+	fmt.Fprintf(stdout, "energy (ECS)      %.3f million W·t (%.1f per task, idle share %.1f%%)\n",
 		res.ECS/1e6, res.Efficiency.EnergyPerTask, res.Efficiency.IdleFraction*100)
-	fmt.Printf("successful rate   %.3f (%d deadline hits)\n", res.SuccessRate, res.DeadlineHits)
-	fmt.Printf("utilisation       %.3f mean busy fraction\n", res.MeanUtilization)
-	fmt.Printf("group size        %.2f mean (adaptive opnum outcome)\n", res.MeanGroupSize)
-	fmt.Printf("makespan          %.1f t units\n", res.EndTime)
+	fmt.Fprintf(stdout, "successful rate   %.3f (%d deadline hits)\n", res.SuccessRate, res.DeadlineHits)
+	fmt.Fprintf(stdout, "utilisation       %.3f mean busy fraction\n", res.MeanUtilization)
+	fmt.Fprintf(stdout, "group size        %.2f mean (adaptive opnum outcome)\n", res.MeanGroupSize)
+	fmt.Fprintf(stdout, "makespan          %.1f t units\n", res.EndTime)
 	dumps := []struct {
 		path  string
 		write func(io.Writer) error
@@ -84,24 +93,25 @@ func main() {
 		}
 		f, err := os.Create(dump.path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if err := dump.write(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Printf("wrote %s\n", dump.path)
+		fmt.Fprintf(stdout, "wrote %s\n", dump.path)
 	}
 	if len(res.UtilWindows) > 0 {
-		fmt.Printf("util by cycles    ")
+		fmt.Fprintf(stdout, "util by cycles    ")
 		for _, u := range res.UtilWindows {
-			fmt.Printf("%.2f ", u)
+			fmt.Fprintf(stdout, "%.2f ", u)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return 0
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "flag provided but not defined") {
+		t.Fatalf("stderr: %q", errOut.String())
+	}
+}
+
+func TestRunBadPolicy(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-policy", "bogus", "-n", "10"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if errOut.Len() == 0 {
+		t.Fatal("no error printed")
+	}
+}
+
+func TestRunTiny(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-policy", "greedy", "-n", "20"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr=%q", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"policy            greedy", "20 submitted", "avg response time", "energy (ECS)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunDumpGantt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gantt.csv")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-policy", "greedy", "-n", "20", "-dump-gantt", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr=%q", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("gantt CSV empty")
+	}
+}

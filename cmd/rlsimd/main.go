@@ -1,0 +1,80 @@
+// Command rlsimd serves simulation campaigns over HTTP: submit a job
+// spec (a figure to regenerate or an explicit point list plus a
+// profile), poll its status, stream progress as server-sent events,
+// fetch the result, or cancel it. See internal/server for the API.
+//
+// Usage:
+//
+//	rlsimd [-addr 127.0.0.1:8080] [-jobs 1] [-queue 16] [-grace 30s]
+//
+// On SIGINT/SIGTERM the daemon stops accepting jobs and waits up to
+// -grace for running jobs to finish before cancelling them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rlsched/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it parses flags, serves until ctx
+// is cancelled, then shuts down gracefully and returns the exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rlsimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	jobs := fs.Int("jobs", 1, "jobs executed concurrently")
+	queue := fs.Int("queue", 16, "queued jobs accepted beyond the running ones")
+	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period for running jobs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv := server.New(server.Options{Jobs: *jobs, QueueDepth: *queue})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlsimd: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "rlsimd listening on %s\n", ln.Addr())
+
+	select {
+	case <-ctx.Done():
+	case err := <-errCh:
+		fmt.Fprintf(stderr, "rlsimd: %v\n", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "rlsimd shutting down (grace %s)\n", *grace)
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Stop the listener first so no new jobs arrive, then drain the
+	// job queue (cancelling what is still running once grace expires).
+	if err := httpSrv.Shutdown(graceCtx); err != nil {
+		fmt.Fprintf(stderr, "rlsimd: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(graceCtx); err != nil {
+		fmt.Fprintf(stderr, "rlsimd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "rlsimd stopped")
+	return 0
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(context.Background(), []string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "flag provided but not defined") {
+		t.Fatalf("stderr: %q", errOut.String())
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:http"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+}
+
+// TestRunServesAndStops boots the daemon on an ephemeral port, hits
+// /healthz, then cancels the context and expects a clean exit.
+func TestRunServesAndStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &lockedBuffer{}
+	var errOut bytes.Buffer
+
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-grace", "5s"}, out, &errOut)
+	}()
+
+	// Wait for the listen line and extract the bound address.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stdout=%q stderr=%q", out.String(), errOut.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "rlsimd listening on "); ok {
+				addr = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-codeCh:
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr=%q", code, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not stop after cancel")
+	}
+	if !strings.Contains(out.String(), "rlsimd stopped") {
+		t.Fatalf("stdout missing stop line: %q", out.String())
+	}
+}
+
+// lockedBuffer makes bytes.Buffer safe for the cross-goroutine
+// write/read pattern above.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -51,34 +52,43 @@ func parseInts(s string) ([]int, error) {
 }
 
 func main() {
-	policiesFlag := flag.String("policies", "adaptive-rl,online-rl,q+-learning,prediction-based", "comma-separated policy names")
-	tasksFlag := flag.String("tasks", "500,1500,3000", "comma-separated task counts")
-	cvFlag := flag.String("cv", "0", "comma-separated heterogeneity levels (0 = nominal platform)")
-	reps := flag.Int("reps", 1, "replications per point")
-	seed := flag.Uint64("seed", 1, "base seed")
-	configPath := flag.String("config", "", "profile JSON (default: built-in profile)")
-	workers := flag.Int("workers", 0, "points run concurrently (0 = one per CPU, 1 = serial)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	policiesFlag := fs.String("policies", "adaptive-rl,online-rl,q+-learning,prediction-based", "comma-separated policy names")
+	tasksFlag := fs.String("tasks", "500,1500,3000", "comma-separated task counts")
+	cvFlag := fs.String("cv", "0", "comma-separated heterogeneity levels (0 = nominal platform)")
+	reps := fs.Int("reps", 1, "replications per point")
+	seed := fs.Uint64("seed", 1, "base seed")
+	configPath := fs.String("config", "", "profile JSON (default: built-in profile)")
+	workers := fs.Int("workers", 0, "points run concurrently (0 = one per CPU, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	profile := rlsched.DefaultProfile()
 	if *configPath != "" {
 		f, err := rlsched.LoadConfig(*configPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		profile = f.Profile
 	}
 
 	taskCounts, err := parseInts(*tasksFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	cvs, err := parseFloats(*cvFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	var policies []rlsched.PolicyName
 	for _, name := range strings.Split(*policiesFlag, ",") {
@@ -106,14 +116,15 @@ func main() {
 	}
 	results, err := rlsched.RunMany(profile, specs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	fmt.Println("policy,tasks,cv,replication,avert,ecs,success,utilization,meanwait,endtime")
+	fmt.Fprintln(stdout, "policy,tasks,cv,replication,avert,ecs,success,utilization,meanwait,endtime")
 	for i, res := range results {
 		s := specs[i]
-		fmt.Printf("%s,%d,%g,%d,%.4f,%.1f,%.4f,%.4f,%.4f,%.1f\n",
+		fmt.Fprintf(stdout, "%s,%d,%g,%d,%.4f,%.1f,%.4f,%.4f,%.4f,%.1f\n",
 			s.Policy, s.NumTasks, s.HeterogeneityCV, s.Seed-*seed, res.AveRT, res.ECS, res.SuccessRate,
 			res.MeanUtilization, res.MeanWait, res.EndTime)
 	}
+	return 0
 }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "flag provided but not defined") {
+		t.Fatalf("stderr: %q", errOut.String())
+	}
+}
+
+func TestRunBadTaskList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-tasks", "10,banana"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "bad integer") {
+		t.Fatalf("stderr: %q", errOut.String())
+	}
+}
+
+func TestRunTinySweep(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-policies", "greedy", "-tasks", "15", "-cv", "0,0.5", "-reps", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr=%q", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 { // header + 2 cv levels
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out.String())
+	}
+	if lines[0] != "policy,tasks,cv,replication,avert,ecs,success,utilization,meanwait,endtime" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "greedy,15,0,") || !strings.HasPrefix(lines[2], "greedy,15,0.5,") {
+		t.Fatalf("rows out of order:\n%s", out.String())
+	}
+}

@@ -1,0 +1,125 @@
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"rlsched/internal/experiments"
+)
+
+// Job kinds accepted by JobSpec.Kind.
+const (
+	// JobFigure regenerates one evaluation figure (or "all" paper
+	// figures) under the job's profile.
+	JobFigure = "figure"
+	// JobPoints runs an explicit list of simulation points, exactly as
+	// given (no replication expansion) — the cmd/sweep shape.
+	JobPoints = "points"
+)
+
+// JobSpec is the wire schema of one simulation job submitted to the
+// rlsimd daemon (POST /v1/jobs): a File-style profile plus what to run
+// under it. Unknown keys are rejected on decode and specs are validated
+// before they are queued, so a job that parses is a job that runs.
+type JobSpec struct {
+	// Description is free-form text carried along with the job.
+	Description string `json:"description,omitempty"`
+	// Kind selects the job shape: JobFigure or JobPoints. Required.
+	Kind string `json:"kind"`
+	// Figure identifies the figure for JobFigure jobs: "7".."12",
+	// "E1".."E3", their "figureN" forms, or "all" for the six paper
+	// figures. Stored canonically after Normalize.
+	Figure string `json:"figure,omitempty"`
+	// Points lists the simulation points for JobPoints jobs.
+	Points []experiments.RunSpec `json:"points,omitempty"`
+	// Profile holds every experiment knob; omitted fields keep the
+	// default profile's values, exactly like File.Profile.
+	Profile experiments.Profile `json:"profile"`
+}
+
+// defaultJobSpec is the decode base: omitted profile fields keep their
+// defaults while Kind stays empty so an empty body cannot silently queue
+// a whole campaign.
+func defaultJobSpec() JobSpec {
+	return JobSpec{Profile: experiments.DefaultProfile()}
+}
+
+// Normalize validates the spec and returns a copy with the figure alias
+// resolved to its canonical identifier.
+func (s JobSpec) Normalize() (JobSpec, error) {
+	if err := s.Profile.Validate(); err != nil {
+		return JobSpec{}, fmt.Errorf("config: invalid profile: %w", err)
+	}
+	switch s.Kind {
+	case JobFigure:
+		if len(s.Points) != 0 {
+			return JobSpec{}, fmt.Errorf("config: %q job must not set points", JobFigure)
+		}
+		canon, err := experiments.CanonicalFigureID(s.Figure)
+		if err != nil {
+			return JobSpec{}, fmt.Errorf("config: %w", err)
+		}
+		s.Figure = canon
+	case JobPoints:
+		if s.Figure != "" {
+			return JobSpec{}, fmt.Errorf("config: %q job must not set figure", JobPoints)
+		}
+		if len(s.Points) == 0 {
+			return JobSpec{}, fmt.Errorf("config: %q job needs at least one point", JobPoints)
+		}
+		for i, pt := range s.Points {
+			if pt.NumTasks < 1 {
+				return JobSpec{}, fmt.Errorf("config: point %d: NumTasks must be >= 1, got %d", i, pt.NumTasks)
+			}
+			if _, err := experiments.NewPolicy(pt.Policy); err != nil {
+				return JobSpec{}, fmt.Errorf("config: point %d: %w", i, err)
+			}
+		}
+	case "":
+		return JobSpec{}, fmt.Errorf("config: job kind is required (%q or %q)", JobFigure, JobPoints)
+	default:
+		return JobSpec{}, fmt.Errorf("config: unknown job kind %q (want %q or %q)", s.Kind, JobFigure, JobPoints)
+	}
+	return s, nil
+}
+
+// TotalPoints reports how many simulation points the job will run —
+// the denominator of the daemon's progress fraction. The spec must have
+// been normalized.
+func (s JobSpec) TotalPoints() (int, error) {
+	switch s.Kind {
+	case JobFigure:
+		return experiments.PointCount(s.Profile, s.Figure)
+	case JobPoints:
+		return len(s.Points), nil
+	}
+	return 0, fmt.Errorf("config: unknown job kind %q", s.Kind)
+}
+
+// MarshalJob renders the job as indented JSON, refusing invalid specs.
+func MarshalJob(s JobSpec) ([]byte, error) {
+	norm, err := s.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("config: refusing to marshal invalid job: %w", err)
+	}
+	data, err := json.MarshalIndent(norm, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// UnmarshalJob parses JSON into a JobSpec, rejecting unknown fields,
+// invalid profiles and malformed job shapes. The input is decoded over
+// the default profile, so omitted profile fields keep their defaults;
+// the kind must be stated explicitly.
+func UnmarshalJob(data []byte) (JobSpec, error) {
+	s := defaultJobSpec()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return JobSpec{}, fmt.Errorf("config: %w", err)
+	}
+	return s.Normalize()
+}

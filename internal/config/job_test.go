@@ -1,0 +1,170 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"rlsched/internal/experiments"
+)
+
+func validFigureJob() JobSpec {
+	return JobSpec{
+		Kind:    JobFigure,
+		Figure:  "figure9",
+		Profile: experiments.DefaultProfile(),
+	}
+}
+
+func TestJobRoundTrip(t *testing.T) {
+	s := validFigureJob()
+	s.Description = "round trip"
+	s.Profile.Replications = 5
+	s.Profile.Seed = 42
+	data, err := MarshalJob(s)
+	if err != nil {
+		t.Fatalf("MarshalJob: %v", err)
+	}
+	got, err := UnmarshalJob(data)
+	if err != nil {
+		t.Fatalf("UnmarshalJob: %v", err)
+	}
+	if got.Description != "round trip" || got.Kind != JobFigure || got.Figure != "figure9" {
+		t.Fatalf("round trip lost job fields: %+v", got)
+	}
+	if got.Profile.Replications != 5 || got.Profile.Seed != 42 {
+		t.Fatalf("round trip lost profile fields: %+v", got.Profile)
+	}
+}
+
+func TestJobPointsRoundTrip(t *testing.T) {
+	s := JobSpec{
+		Kind: JobPoints,
+		Points: []experiments.RunSpec{
+			{Policy: experiments.AdaptiveRL, NumTasks: 100, Seed: 1},
+			{Policy: experiments.Greedy, NumTasks: 50, HeterogeneityCV: 0.5, Seed: 2},
+		},
+		Profile: experiments.DefaultProfile(),
+	}
+	data, err := MarshalJob(s)
+	if err != nil {
+		t.Fatalf("MarshalJob: %v", err)
+	}
+	got, err := UnmarshalJob(data)
+	if err != nil {
+		t.Fatalf("UnmarshalJob: %v", err)
+	}
+	if len(got.Points) != 2 || got.Points[1].HeterogeneityCV != 0.5 {
+		t.Fatalf("round trip lost points: %+v", got.Points)
+	}
+	n, err := got.TotalPoints()
+	if err != nil || n != 2 {
+		t.Fatalf("TotalPoints = %d, %v; want 2, nil", n, err)
+	}
+}
+
+func TestJobUnmarshalDefaultsForOmittedProfileFields(t *testing.T) {
+	got, err := UnmarshalJob([]byte(`{"kind": "figure", "figure": "7", "profile": {"SizeScale": 2.5}}`))
+	if err != nil {
+		t.Fatalf("UnmarshalJob: %v", err)
+	}
+	def := experiments.DefaultProfile()
+	if got.Profile.SizeScale != 2.5 {
+		t.Fatalf("override lost: %g", got.Profile.SizeScale)
+	}
+	if got.Profile.ObservationPeriod != def.ObservationPeriod || got.Profile.Platform.Sites != def.Platform.Sites {
+		t.Fatal("defaults not preserved for omitted fields")
+	}
+	if got.Figure != "figure7" {
+		t.Fatalf("figure alias not canonicalised: %q", got.Figure)
+	}
+}
+
+func TestJobUnmarshalRejectsUnknownFields(t *testing.T) {
+	cases := []string{
+		`{"kind": "figure", "figure": "7", "figgure": "8"}`,
+		`{"kind": "figure", "figure": "7", "profile": {"SizeScle": 2.5}}`,
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalJob([]byte(c)); err == nil {
+			t.Fatalf("expected unknown-field error for %s", c)
+		}
+	}
+}
+
+func TestJobUnmarshalRejectsMalformedSpecs(t *testing.T) {
+	cases := map[string]string{
+		"garbage":            `{not json`,
+		"empty body":         `{}`,
+		"missing kind":       `{"figure": "7"}`,
+		"unknown kind":       `{"kind": "sweeep", "figure": "7"}`,
+		"unknown figure":     `{"kind": "figure", "figure": "99"}`,
+		"figure with points": `{"kind": "figure", "figure": "7", "points": [{"Policy": "greedy", "NumTasks": 10}]}`,
+		"points with figure": `{"kind": "points", "figure": "7", "points": [{"Policy": "greedy", "NumTasks": 10}]}`,
+		"points empty":       `{"kind": "points"}`,
+		"points bad policy":  `{"kind": "points", "points": [{"Policy": "bogus", "NumTasks": 10}]}`,
+		"points bad tasks":   `{"kind": "points", "points": [{"Policy": "greedy", "NumTasks": 0}]}`,
+		"invalid profile":    `{"kind": "figure", "figure": "7", "profile": {"SizeScale": -1}}`,
+		"negative workers":   `{"kind": "figure", "figure": "7", "profile": {"Workers": -1}}`,
+	}
+	for name, c := range cases {
+		if _, err := UnmarshalJob([]byte(c)); err == nil {
+			t.Fatalf("%s: expected error for %s", name, c)
+		}
+	}
+}
+
+// TestUnmarshalRejectsNegativeWorkers pins the config-load-time rejection
+// of a bad Workers value for the plain profile schema too: a typo'd
+// campaign file fails at load, not deep inside workerCount.
+func TestUnmarshalRejectsNegativeWorkers(t *testing.T) {
+	if _, err := Unmarshal([]byte(`{"profile": {"Workers": -2}}`)); err == nil {
+		t.Fatal("expected validation error for Workers = -2")
+	}
+}
+
+func TestJobMarshalRejectsInvalid(t *testing.T) {
+	s := validFigureJob()
+	s.Profile.Replications = 0
+	if _, err := MarshalJob(s); err == nil {
+		t.Fatal("expected validation error")
+	}
+	s = JobSpec{Kind: "nope", Profile: experiments.DefaultProfile()}
+	if _, err := MarshalJob(s); err == nil {
+		t.Fatal("expected kind error")
+	}
+}
+
+func TestJobTotalPoints(t *testing.T) {
+	s := validFigureJob()
+	s.Profile.Replications = 2
+	n, err := s.TotalPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 { // figure9: two policies x two replications
+		t.Fatalf("TotalPoints = %d, want 4", n)
+	}
+	s.Figure = "all"
+	all, err := s.TotalPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all <= n {
+		t.Fatalf("TotalPoints(all) = %d, want > %d", all, n)
+	}
+}
+
+func TestJobMarshalIsHumanReadable(t *testing.T) {
+	data, err := MarshalJob(validFigureJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "\n  ") || !strings.HasSuffix(s, "\n") {
+		t.Fatal("output not indented or not newline-terminated")
+	}
+	// Runtime-only hooks must never leak into the schema.
+	if strings.Contains(s, "Progress") || strings.Contains(s, "Tracer") {
+		t.Fatal("runtime-only field serialised")
+	}
+}

@@ -17,6 +17,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"rlsched/internal/baselines/cooperative"
@@ -106,6 +107,12 @@ type Profile struct {
 	// randomness purely from its RunSpec, so results are bit-identical at
 	// any worker count; only wall-clock time changes.
 	Workers int
+	// Progress, when non-nil, is invoked once after every completed
+	// simulation point (replications included) by RunMany and the figure
+	// sweeps. It is called from worker goroutines concurrently, so it must
+	// be safe for concurrent use and cheap — it sits on the campaign hot
+	// path. Runtime-only: never serialised, never affects results.
+	Progress func() `json:"-"`
 }
 
 // DefaultProfile returns the tuned defaults used for every figure.
@@ -272,8 +279,8 @@ type PointStat struct {
 
 // runReplications executes the spec across seeds (in parallel, per the
 // profile's worker count) and reduces each result through extract.
-func runReplications(p Profile, spec RunSpec, extract func(sched.Result) float64) (PointStat, error) {
-	results, err := RunMany(p, replicate(p, []RunSpec{spec}))
+func runReplications(ctx context.Context, p Profile, spec RunSpec, extract func(sched.Result) float64) (PointStat, error) {
+	results, err := RunManyCtx(ctx, p, replicate(p, []RunSpec{spec}))
 	if err != nil {
 		return PointStat{}, err
 	}
@@ -282,8 +289,8 @@ func runReplications(p Profile, spec RunSpec, extract func(sched.Result) float64
 
 // seriesReplications averages a per-run series (e.g. utilisation by cycle
 // decile) element-wise over replications.
-func seriesReplications(p Profile, spec RunSpec, extract func(sched.Result) []float64) ([]float64, error) {
-	results, err := RunMany(p, replicate(p, []RunSpec{spec}))
+func seriesReplications(ctx context.Context, p Profile, spec RunSpec, extract func(sched.Result) []float64) ([]float64, error) {
+	results, err := RunManyCtx(ctx, p, replicate(p, []RunSpec{spec}))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"rlsched/internal/sched"
@@ -200,7 +201,7 @@ func TestUtilizationFigureStructure(t *testing.T) {
 func TestPointStatAggregation(t *testing.T) {
 	p := fastProfile()
 	p.Replications = 3
-	pt, err := runReplications(p, RunSpec{Policy: Greedy, NumTasks: 100},
+	pt, err := runReplications(context.Background(), p, RunSpec{Policy: Greedy, NumTasks: 100},
 		func(r sched.Result) float64 { return r.AveRT })
 	if err != nil {
 		t.Fatal(err)

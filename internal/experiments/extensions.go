@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"rlsched/internal/rng"
@@ -21,7 +22,9 @@ var FailureMTBFLevels = []float64{0, 800, 400, 200, 100}
 // Adaptive-RL and the greedy reference: deadline success degrades with the
 // failure rate while every task still completes (aborted executions
 // re-run).
-func FigureE1(p Profile) (Figure, error) {
+func FigureE1(p Profile) (Figure, error) { return figureE1(context.Background(), p) }
+
+func figureE1(ctx context.Context, p Profile) (Figure, error) {
 	fig := Figure{
 		ID:     "figureE1",
 		Title:  "Extension: deadline success vs processor failure rate",
@@ -39,7 +42,7 @@ func FigureE1(p Profile) (Figure, error) {
 			if mtbf > 0 {
 				prof.Engine.RepairTime = 25
 			}
-			pt, err := runReplications(prof, RunSpec{Policy: name, NumTasks: p.HeavyTasks},
+			pt, err := runReplications(ctx, prof, RunSpec{Policy: name, NumTasks: p.HeavyTasks},
 				func(r sched.Result) float64 { return r.SuccessRate })
 			if err != nil {
 				return Figure{}, fmt.Errorf("%s/%s/mtbf=%g: %w", fig.ID, name, mtbf, err)
@@ -60,7 +63,9 @@ func FigureE1(p Profile) (Figure, error) {
 // FigureE2 compares the four learning approaches on a bursty arrival
 // process (same long-run rate as the heavy Poisson point, 4x bursts):
 // burstiness amplifies the gap between adaptive and static grouping.
-func FigureE2(p Profile) (Figure, error) {
+func FigureE2(p Profile) (Figure, error) { return figureE2(context.Background(), p) }
+
+func figureE2(ctx context.Context, p Profile) (Figure, error) {
 	fig := Figure{
 		ID:     "figureE2",
 		Title:  "Extension: average response time under bursty arrivals",
@@ -72,7 +77,7 @@ func FigureE2(p Profile) (Figure, error) {
 	for _, name := range AllPolicies {
 		s := Series{Label: string(name)}
 		for i, bursty := range []bool{false, true} {
-			pt, err := runBurstyReplications(p, name, bursty)
+			pt, err := runBurstyReplications(ctx, p, name, bursty)
 			if err != nil {
 				return Figure{}, fmt.Errorf("%s/%s: %w", fig.ID, name, err)
 			}
@@ -88,10 +93,10 @@ func FigureE2(p Profile) (Figure, error) {
 // runBurstyReplications mirrors runReplications but generates the workload
 // with the modulated-Poisson generator when bursty is set: the same
 // scenario pipeline (and worker pool) with only the generator swapped.
-func runBurstyReplications(p Profile, name PolicyName, bursty bool) (PointStat, error) {
+func runBurstyReplications(ctx context.Context, p Profile, name PolicyName, bursty bool) (PointStat, error) {
 	extract := func(r sched.Result) float64 { return r.AveRT }
 	if !bursty {
-		return runReplications(p, RunSpec{Policy: name, NumTasks: p.HeavyTasks}, extract)
+		return runReplications(ctx, p, RunSpec{Policy: name, NumTasks: p.HeavyTasks}, extract)
 	}
 	gen := func(cfg workload.GenConfig, r *rng.Stream) ([]*workload.Task, error) {
 		return workload.GenerateBursty(workload.BurstyConfig{
@@ -103,7 +108,7 @@ func runBurstyReplications(p Profile, name PolicyName, bursty bool) (PointStat, 
 	}
 	specs := replicate(p, []RunSpec{{Policy: name, NumTasks: p.HeavyTasks}})
 	results := make([]sched.Result, len(specs))
-	err := forEachPoint(p.workerCount(), len(specs), func(i int) error {
+	err := forEachPoint(ctx, p.workerCount(), len(specs), func(i int) error {
 		policy, err := NewPolicy(name)
 		if err != nil {
 			return err
@@ -113,6 +118,9 @@ func runBurstyReplications(p Profile, name PolicyName, bursty bool) (PointStat, 
 			return fmt.Errorf("bursty seed=%d: %w", specs[i].Seed, err)
 		}
 		results[i] = res
+		if p.Progress != nil {
+			p.Progress()
+		}
 		return nil
 	})
 	if err != nil {
@@ -136,7 +144,9 @@ var PriorityMixes = []struct {
 // FigureE3 sweeps the priority mix at the heavy point for Adaptive-RL,
 // reporting the overall successful rate: urgent-dominated populations are
 // harder because high-priority deadlines leave almost no waiting budget.
-func FigureE3(p Profile) (Figure, error) {
+func FigureE3(p Profile) (Figure, error) { return figureE3(context.Background(), p) }
+
+func figureE3(ctx context.Context, p Profile) (Figure, error) {
 	fig := Figure{
 		ID:     "figureE3",
 		Title:  "Extension: successful rate vs task-priority mix",
@@ -149,7 +159,7 @@ func FigureE3(p Profile) (Figure, error) {
 	for i, m := range PriorityMixes {
 		prof := p
 		prof.Mix = m.Mix
-		pt, err := runReplications(prof, RunSpec{Policy: AdaptiveRL, NumTasks: p.HeavyTasks},
+		pt, err := runReplications(ctx, prof, RunSpec{Policy: AdaptiveRL, NumTasks: p.HeavyTasks},
 			func(r sched.Result) float64 { return r.SuccessRate })
 		if err != nil {
 			return Figure{}, fmt.Errorf("%s/%s: %w", fig.ID, m.Label, err)
@@ -167,13 +177,19 @@ var ExtensionFigureIDs = []string{"figureE1", "figureE2", "figureE3"}
 
 // ExtensionFigureByID dispatches an extension figure constructor.
 func ExtensionFigureByID(p Profile, id string) (Figure, error) {
+	return ExtensionFigureByIDCtx(context.Background(), p, id)
+}
+
+// ExtensionFigureByIDCtx is ExtensionFigureByID under a context:
+// cancelling ctx abandons the sweep and returns the context's error.
+func ExtensionFigureByIDCtx(ctx context.Context, p Profile, id string) (Figure, error) {
 	switch id {
 	case "E1", "figureE1":
-		return FigureE1(p)
+		return figureE1(ctx, p)
 	case "E2", "figureE2":
-		return FigureE2(p)
+		return figureE2(ctx, p)
 	case "E3", "figureE3":
-		return FigureE3(p)
+		return figureE3(ctx, p)
 	default:
 		return Figure{}, fmt.Errorf("experiments: unknown extension figure %q", id)
 	}

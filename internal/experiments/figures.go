@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"rlsched/internal/sched"
@@ -40,8 +41,10 @@ var CycleFractions = []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 // Figure7 reproduces "Average response time with different learning
 // approaches": AveRT (t units) versus the number of tasks for all four
 // policies.
-func Figure7(p Profile) (Figure, error) {
-	return sweepByPolicy(p, Figure{
+func Figure7(p Profile) (Figure, error) { return figure7(context.Background(), p) }
+
+func figure7(ctx context.Context, p Profile) (Figure, error) {
+	return sweepByPolicy(ctx, p, Figure{
 		ID:     "figure7",
 		Title:  "Average response time with different learning approaches",
 		XLabel: "number of tasks",
@@ -54,8 +57,10 @@ func Figure7(p Profile) (Figure, error) {
 // Figure8 reproduces "Average energy consumption with different learning
 // approaches": ECS (millions of watt·time-units) versus the number of
 // tasks for all four policies.
-func Figure8(p Profile) (Figure, error) {
-	return sweepByPolicy(p, Figure{
+func Figure8(p Profile) (Figure, error) { return figure8(context.Background(), p) }
+
+func figure8(ctx context.Context, p Profile) (Figure, error) {
+	return sweepByPolicy(ctx, p, Figure{
 		ID:     "figure8",
 		Title:  "Average energy consumption with different learning approaches",
 		XLabel: "number of tasks",
@@ -69,14 +74,14 @@ func Figure8(p Profile) (Figure, error) {
 // TaskCounts. The whole grid — policies x task counts x replications — is
 // flattened into one spec list and fanned over the profile's workers;
 // the stats are then folded back into per-policy series in order.
-func sweepByPolicy(p Profile, fig Figure, extract func(sched.Result) float64) (Figure, error) {
+func sweepByPolicy(ctx context.Context, p Profile, fig Figure, extract func(sched.Result) float64) (Figure, error) {
 	points := make([]RunSpec, 0, len(AllPolicies)*len(TaskCounts))
 	for _, name := range AllPolicies {
 		for _, n := range TaskCounts {
 			points = append(points, RunSpec{Policy: name, NumTasks: n})
 		}
 	}
-	results, err := RunMany(p, replicate(p, points))
+	results, err := RunManyCtx(ctx, p, replicate(p, points))
 	if err != nil {
 		return Figure{}, fmt.Errorf("%s: %w", fig.ID, err)
 	}
@@ -97,8 +102,10 @@ func sweepByPolicy(p Profile, fig Figure, extract func(sched.Result) float64) (F
 // Figure9 reproduces "Utilisation rate between Adaptive-RL and Online RL
 // in heavily loaded state": windowed utilisation versus % learning cycles
 // at the heavy task count.
-func Figure9(p Profile) (Figure, error) {
-	return utilizationFigure(p, Figure{
+func Figure9(p Profile) (Figure, error) { return figure9(context.Background(), p) }
+
+func figure9(ctx context.Context, p Profile) (Figure, error) {
+	return utilizationFigure(ctx, p, Figure{
 		ID:     "figure9",
 		Title:  "Utilisation rate, Adaptive-RL vs Online RL (heavily loaded)",
 		XLabel: "% learning cycles",
@@ -109,8 +116,10 @@ func Figure9(p Profile) (Figure, error) {
 }
 
 // Figure10 reproduces the same comparison in the lightly loaded state.
-func Figure10(p Profile) (Figure, error) {
-	return utilizationFigure(p, Figure{
+func Figure10(p Profile) (Figure, error) { return figure10(context.Background(), p) }
+
+func figure10(ctx context.Context, p Profile) (Figure, error) {
+	return utilizationFigure(ctx, p, Figure{
 		ID:     "figure10",
 		Title:  "Utilisation rate, Adaptive-RL vs Online RL (lightly loaded)",
 		XLabel: "% learning cycles",
@@ -120,13 +129,13 @@ func Figure10(p Profile) (Figure, error) {
 	}, p.LightTasks, "lightly-loaded")
 }
 
-func utilizationFigure(p Profile, fig Figure, numTasks int, loadLabel string) (Figure, error) {
+func utilizationFigure(ctx context.Context, p Profile, fig Figure, numTasks int, loadLabel string) (Figure, error) {
 	policies := []PolicyName{AdaptiveRL, OnlineRL}
 	points := make([]RunSpec, 0, len(policies))
 	for _, name := range policies {
 		points = append(points, RunSpec{Policy: name, NumTasks: numTasks})
 	}
-	results, err := RunMany(p, replicate(p, points))
+	results, err := RunManyCtx(ctx, p, replicate(p, points))
 	if err != nil {
 		return Figure{}, fmt.Errorf("%s: %w", fig.ID, err)
 	}
@@ -146,8 +155,10 @@ func utilizationFigure(p Profile, fig Figure, numTasks int, loadLabel string) (F
 
 // Figure11 reproduces "Successful rate of Adaptive-RL in lightly- and
 // heavily-loaded states" across resource heterogeneity.
-func Figure11(p Profile) (Figure, error) {
-	return heterogeneityFigure(p, Figure{
+func Figure11(p Profile) (Figure, error) { return figure11(context.Background(), p) }
+
+func figure11(ctx context.Context, p Profile) (Figure, error) {
+	return heterogeneityFigure(ctx, p, Figure{
 		ID:     "figure11",
 		Title:  "Successful rate of Adaptive-RL vs heterogeneity",
 		XLabel: "heterogeneity of resources",
@@ -159,8 +170,10 @@ func Figure11(p Profile) (Figure, error) {
 
 // Figure12 reproduces "Average energy consumption of Adaptive-RL in
 // lightly- and heavily-loaded states" across resource heterogeneity.
-func Figure12(p Profile) (Figure, error) {
-	return heterogeneityFigure(p, Figure{
+func Figure12(p Profile) (Figure, error) { return figure12(context.Background(), p) }
+
+func figure12(ctx context.Context, p Profile) (Figure, error) {
+	return heterogeneityFigure(ctx, p, Figure{
 		ID:     "figure12",
 		Title:  "Energy consumption of Adaptive-RL vs heterogeneity",
 		XLabel: "heterogeneity of resources",
@@ -170,7 +183,7 @@ func Figure12(p Profile) (Figure, error) {
 	}, func(r sched.Result) float64 { return r.ECS / 1e6 })
 }
 
-func heterogeneityFigure(p Profile, fig Figure, extract func(sched.Result) float64) (Figure, error) {
+func heterogeneityFigure(ctx context.Context, p Profile, fig Figure, extract func(sched.Result) float64) (Figure, error) {
 	loads := []struct {
 		label string
 		tasks int
@@ -184,7 +197,7 @@ func heterogeneityFigure(p Profile, fig Figure, extract func(sched.Result) float
 			points = append(points, RunSpec{Policy: AdaptiveRL, NumTasks: load.tasks, HeterogeneityCV: cv})
 		}
 	}
-	results, err := RunMany(p, replicate(p, points))
+	results, err := RunManyCtx(ctx, p, replicate(p, points))
 	if err != nil {
 		return Figure{}, fmt.Errorf("%s: %w", fig.ID, err)
 	}
@@ -204,19 +217,25 @@ func heterogeneityFigure(p Profile, fig Figure, extract func(sched.Result) float
 
 // FigureByID dispatches a figure constructor by its identifier (7-12).
 func FigureByID(p Profile, id string) (Figure, error) {
+	return FigureByIDCtx(context.Background(), p, id)
+}
+
+// FigureByIDCtx is FigureByID under a context: cancelling ctx abandons
+// the sweep and returns the context's error.
+func FigureByIDCtx(ctx context.Context, p Profile, id string) (Figure, error) {
 	switch id {
 	case "7", "figure7":
-		return Figure7(p)
+		return figure7(ctx, p)
 	case "8", "figure8":
-		return Figure8(p)
+		return figure8(ctx, p)
 	case "9", "figure9":
-		return Figure9(p)
+		return figure9(ctx, p)
 	case "10", "figure10":
-		return Figure10(p)
+		return figure10(ctx, p)
 	case "11", "figure11":
-		return Figure11(p)
+		return figure11(ctx, p)
 	case "12", "figure12":
-		return Figure12(p)
+		return figure12(ctx, p)
 	default:
 		return Figure{}, fmt.Errorf("experiments: unknown figure %q", id)
 	}
@@ -225,15 +244,83 @@ func FigureByID(p Profile, id string) (Figure, error) {
 // AllFigureIDs lists the reproducible figures in paper order.
 var AllFigureIDs = []string{"figure7", "figure8", "figure9", "figure10", "figure11", "figure12"}
 
+// FigureIDAll is the CanonicalFigureID alias for the whole paper campaign
+// (AllCtx): every figure in AllFigureIDs.
+const FigureIDAll = "all"
+
+// CanonicalFigureID resolves the accepted figure aliases — "7".."12",
+// "E1".."E3", their "figureN" forms and "all" — to the canonical
+// identifier used by FigureByIDCtx / ExtensionFigureByIDCtx / AllCtx.
+func CanonicalFigureID(id string) (string, error) {
+	if id == FigureIDAll {
+		return FigureIDAll, nil
+	}
+	for _, canon := range AllFigureIDs {
+		if id == canon || "figure"+id == canon {
+			return canon, nil
+		}
+	}
+	for _, canon := range ExtensionFigureIDs {
+		if id == canon || "figure"+id == canon {
+			return canon, nil
+		}
+	}
+	return "", fmt.Errorf("experiments: unknown figure %q", id)
+}
+
+// PointCount reports how many simulation points — replications included —
+// regenerating the figure with the given id (any CanonicalFigureID alias,
+// including "all") runs under the profile. It equals the number of
+// Progress callbacks the regeneration makes, which is what lets a caller
+// turn the per-point hook into a completion fraction.
+func PointCount(p Profile, id string) (int, error) {
+	canon, err := CanonicalFigureID(id)
+	if err != nil {
+		return 0, err
+	}
+	r := p.Replications
+	switch canon {
+	case FigureIDAll:
+		total := 0
+		for _, fid := range AllFigureIDs {
+			n, err := PointCount(p, fid)
+			if err != nil {
+				return 0, err
+			}
+			total += n
+		}
+		return total, nil
+	case "figure7", "figure8":
+		return len(AllPolicies) * len(TaskCounts) * r, nil
+	case "figure9", "figure10":
+		return 2 * r, nil // AdaptiveRL and OnlineRL at one task count
+	case "figure11", "figure12":
+		return 2 * len(HeterogeneityLevels) * r, nil // light and heavy
+	case "figureE1":
+		return 2 * len(FailureMTBFLevels) * r, nil // AdaptiveRL and Greedy
+	case "figureE2":
+		return len(AllPolicies) * 2 * r, nil // Poisson and bursty
+	case "figureE3":
+		return len(PriorityMixes) * r, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown figure %q", id)
+}
+
 // All regenerates every figure, running the figures themselves
 // concurrently on the profile's worker pool. Each figure additionally
 // fans its own points out, so small figures (9/10 have four points) do
 // not serialise the campaign behind the big sweeps; the Go scheduler
 // bounds actual parallelism at GOMAXPROCS regardless.
 func All(p Profile) ([]Figure, error) {
+	return AllCtx(context.Background(), p)
+}
+
+// AllCtx is All under a context: cancelling ctx abandons the campaign
+// and returns the context's error.
+func AllCtx(ctx context.Context, p Profile) ([]Figure, error) {
 	out := make([]Figure, len(AllFigureIDs))
-	err := forEachPoint(p.workerCount(), len(AllFigureIDs), func(i int) error {
-		fig, err := FigureByID(p, AllFigureIDs[i])
+	err := forEachPoint(ctx, p.workerCount(), len(AllFigureIDs), func(i int) error {
+		fig, err := FigureByIDCtx(ctx, p, AllFigureIDs[i])
 		if err != nil {
 			return err
 		}

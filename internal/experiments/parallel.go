@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -34,15 +35,20 @@ func (p Profile) workerCount() int {
 // issuing new work once any fn fails, and returns the error with the
 // lowest index — the same error the serial loop would surface, because
 // index i is always claimed before index i+1, so no failure with a
-// smaller index can be missed.
-func forEachPoint(workers, n int, fn func(i int) error) error {
+// smaller index can be missed. Cancelling ctx stops issuing new points
+// (points already started run to completion); if no fn error occurred,
+// the context's error is returned.
+func forEachPoint(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n < 2 || workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
 		}
-		return nil
+		return ctx.Err()
 	}
 	if workers > n {
 		workers = n
@@ -67,7 +73,7 @@ func forEachPoint(workers, n int, fn func(i int) error) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for !failed.Load() {
+			for !failed.Load() && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -80,7 +86,10 @@ func forEachPoint(workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstEr
+	if firstEr != nil {
+		return firstEr
+	}
+	return ctx.Err()
 }
 
 // RunMany executes every spec under the profile, fanning the points over
@@ -88,11 +97,19 @@ func forEachPoint(workers, n int, fn func(i int) error) error {
 // spec order. On failure it returns the error of the lowest-index failing
 // spec, wrapped with that spec's parameters, and discards the rest.
 func RunMany(p Profile, specs []RunSpec) ([]sched.Result, error) {
+	return RunManyCtx(context.Background(), p, specs)
+}
+
+// RunManyCtx is RunMany under a context: cancelling ctx stops issuing new
+// points, discards any completed work and returns the context's error.
+// After each completed point the profile's Progress hook (if set) is
+// invoked, so a caller can observe how far a campaign has advanced.
+func RunManyCtx(ctx context.Context, p Profile, specs []RunSpec) ([]sched.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	out := make([]sched.Result, len(specs))
-	err := forEachPoint(p.workerCount(), len(specs), func(i int) error {
+	err := forEachPoint(ctx, p.workerCount(), len(specs), func(i int) error {
 		res, err := Run(p, specs[i])
 		if err != nil {
 			s := specs[i]
@@ -100,6 +117,9 @@ func RunMany(p Profile, specs []RunSpec) ([]sched.Result, error) {
 				i, s.Policy, s.NumTasks, s.HeterogeneityCV, s.Seed, err)
 		}
 		out[i] = res
+		if p.Progress != nil {
+			p.Progress()
+		}
 		return nil
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -32,7 +33,7 @@ func TestForEachPointCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{1, 2, 8, 100} {
 		const n = 37
 		var hits [n]atomic.Int32
-		err := forEachPoint(workers, n, func(i int) error {
+		err := forEachPoint(context.Background(), workers, n, func(i int) error {
 			hits[i].Add(1)
 			return nil
 		})
@@ -54,7 +55,7 @@ func TestForEachPointCoversAllIndices(t *testing.T) {
 func TestForEachPointLowestIndexError(t *testing.T) {
 	const n, firstBad = 64, 10
 	for _, workers := range []int{1, 2, 8} {
-		err := forEachPoint(workers, n, func(i int) error {
+		err := forEachPoint(context.Background(), workers, n, func(i int) error {
 			if i >= firstBad {
 				return fmt.Errorf("point %d failed", i)
 			}
@@ -75,7 +76,7 @@ func TestForEachPointLowestIndexError(t *testing.T) {
 func TestForEachPointStopsIssuingWork(t *testing.T) {
 	const n = 10_000
 	var ran atomic.Int32
-	err := forEachPoint(4, n, func(i int) error {
+	err := forEachPoint(context.Background(), 4, n, func(i int) error {
 		ran.Add(1)
 		if i == 0 {
 			return errors.New("boom")
@@ -185,6 +186,183 @@ func TestFigure11ParallelDeterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serial, par) {
 		t.Fatal("Figure11 differs between Workers=1 and Workers=8")
+	}
+}
+
+// TestForEachPointCancellation checks that cancelling the context stops
+// the runner from issuing new points at every worker count and that the
+// context's error is surfaced.
+func TestForEachPointCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n, stopAfter = 10_000, 5
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := forEachPoint(ctx, workers, n, func(i int) error {
+			if ran.Add(1) == stopAfter {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got error %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got >= n {
+			t.Fatalf("workers=%d: ran all %d points despite cancellation", workers, got)
+		}
+	}
+}
+
+// TestForEachPointPreCancelled checks that an already-cancelled context
+// runs nothing at all.
+func TestForEachPointPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := forEachPoint(ctx, 4, 100, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got error %v, want context.Canceled", err)
+	}
+	// The parallel path may let each worker claim at most one index before
+	// observing cancellation; it must not drain the whole list.
+	if got := ran.Load(); got > 4 {
+		t.Fatalf("ran %d points under a pre-cancelled context", got)
+	}
+}
+
+// TestRunManyCtxCancelDiscards checks the RunMany contract under
+// cancellation: the context error is returned and results are discarded.
+func TestRunManyCtxCancelDiscards(t *testing.T) {
+	p := fastProfile()
+	p.Workers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int32
+	p.Progress = func() {
+		if done.Add(1) == 2 {
+			cancel()
+		}
+	}
+	specs := replicate(p, []RunSpec{
+		{Policy: Greedy, NumTasks: 30}, {Policy: Greedy, NumTasks: 31},
+		{Policy: Greedy, NumTasks: 32}, {Policy: Greedy, NumTasks: 33},
+		{Policy: Greedy, NumTasks: 34}, {Policy: Greedy, NumTasks: 35},
+	})
+	res, err := RunManyCtx(ctx, p, specs)
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got error %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("expected nil results on cancellation")
+	}
+}
+
+// TestRunManyProgressCount checks that the Progress hook fires exactly
+// once per completed point, at any worker count.
+func TestRunManyProgressCount(t *testing.T) {
+	p := fastProfile()
+	specs := replicate(p, []RunSpec{
+		{Policy: Greedy, NumTasks: 20},
+		{Policy: RoundRobin, NumTasks: 20},
+		{Policy: Random, NumTasks: 20},
+	})
+	for _, workers := range []int{1, 8} {
+		p.Workers = workers
+		var ticks atomic.Int32
+		p.Progress = func() { ticks.Add(1) }
+		if _, err := RunMany(p, specs); err != nil {
+			t.Fatal(err)
+		}
+		if got := ticks.Load(); got != int32(len(specs)) {
+			t.Fatalf("workers=%d: %d progress ticks, want %d", workers, got, len(specs))
+		}
+	}
+}
+
+// TestCanonicalFigureID pins the alias table the job-spec schema relies
+// on.
+func TestCanonicalFigureID(t *testing.T) {
+	for alias, want := range map[string]string{
+		"7": "figure7", "figure7": "figure7", "12": "figure12",
+		"E1": "figureE1", "figureE3": "figureE3", "all": "all",
+	} {
+		got, err := CanonicalFigureID(alias)
+		if err != nil {
+			t.Fatalf("CanonicalFigureID(%q): %v", alias, err)
+		}
+		if got != want {
+			t.Fatalf("CanonicalFigureID(%q) = %q, want %q", alias, got, want)
+		}
+	}
+	for _, bad := range []string{"", "13", "figure13", "E4", "ALL"} {
+		if _, err := CanonicalFigureID(bad); err == nil {
+			t.Fatalf("CanonicalFigureID(%q): expected error", bad)
+		}
+	}
+}
+
+// TestPointCountMatchesProgress regenerates the cheapest figure and
+// checks PointCount against the observed number of Progress callbacks —
+// the invariant the daemon's completion fraction depends on.
+func TestPointCountMatchesProgress(t *testing.T) {
+	p := fastProfile()
+	p.Replications = 2
+	p.LightTasks, p.HeavyTasks = 20, 30
+	var ticks atomic.Int32
+	p.Progress = func() { ticks.Add(1) }
+	want, err := PointCount(p, "figure10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Figure10(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := ticks.Load(); got != int32(want) {
+		t.Fatalf("figure10 made %d progress ticks, PointCount says %d", got, want)
+	}
+}
+
+// TestPointCountArithmetic pins the per-figure formulas against the
+// sweep definitions.
+func TestPointCountArithmetic(t *testing.T) {
+	p := DefaultProfile()
+	p.Replications = 3
+	want := map[string]int{
+		"figure7":  len(AllPolicies) * len(TaskCounts) * 3,
+		"figure8":  len(AllPolicies) * len(TaskCounts) * 3,
+		"figure9":  6,
+		"figure10": 6,
+		"figure11": 2 * len(HeterogeneityLevels) * 3,
+		"figure12": 2 * len(HeterogeneityLevels) * 3,
+		"figureE1": 2 * len(FailureMTBFLevels) * 3,
+		"figureE2": len(AllPolicies) * 2 * 3,
+		"figureE3": len(PriorityMixes) * 3,
+	}
+	total := 0
+	for id, n := range want {
+		got, err := PointCount(p, id)
+		if err != nil {
+			t.Fatalf("PointCount(%s): %v", id, err)
+		}
+		if got != n {
+			t.Fatalf("PointCount(%s) = %d, want %d", id, got, n)
+		}
+		if !strings.HasPrefix(id, "figureE") {
+			total += n
+		}
+	}
+	gotAll, err := PointCount(p, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAll != total {
+		t.Fatalf("PointCount(all) = %d, want %d", gotAll, total)
+	}
+	if _, err := PointCount(p, "nope"); err == nil {
+		t.Fatal("expected error for unknown figure")
 	}
 }
 

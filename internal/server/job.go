@@ -1,0 +1,156 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"rlsched/internal/config"
+	"rlsched/internal/experiments"
+	"rlsched/internal/sched"
+)
+
+// State is the lifecycle state of a job.
+type State string
+
+// The job lifecycle: queued -> running -> done | failed | cancelled.
+// A queued job cancelled before a worker picks it up goes straight to
+// cancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobStatus is the wire snapshot of one job, returned by GET
+// /v1/jobs/{id} and streamed as SSE data on /v1/jobs/{id}/events.
+type JobStatus struct {
+	ID          string `json:"id"`
+	State       State  `json:"state"`
+	Kind        string `json:"kind"`
+	Figure      string `json:"figure,omitempty"`
+	Description string `json:"description,omitempty"`
+	// PointsDone counts completed simulation points; PointsTotal is the
+	// job's expected total, so done/total is a completion fraction.
+	PointsDone  int    `json:"points_done"`
+	PointsTotal int    `json:"points_total"`
+	Error       string `json:"error,omitempty"`
+}
+
+// PointResult is the compact per-point summary returned for JobPoints
+// jobs — the same columns cmd/sweep prints.
+type PointResult struct {
+	Spec            experiments.RunSpec `json:"spec"`
+	AveRT           float64             `json:"avert"`
+	ECS             float64             `json:"ecs"`
+	SuccessRate     float64             `json:"success"`
+	MeanUtilization float64             `json:"utilization"`
+	MeanWait        float64             `json:"meanwait"`
+	EndTime         float64             `json:"endtime"`
+	Completed       int                 `json:"completed"`
+}
+
+// summarizePoint reduces a full engine result to the wire summary.
+func summarizePoint(spec experiments.RunSpec, r sched.Result) PointResult {
+	return PointResult{
+		Spec:            spec,
+		AveRT:           r.AveRT,
+		ECS:             r.ECS,
+		SuccessRate:     r.SuccessRate,
+		MeanUtilization: r.MeanUtilization,
+		MeanWait:        r.MeanWait,
+		EndTime:         r.EndTime,
+		Completed:       r.Completed,
+	}
+}
+
+// JobResult is the payload of GET /v1/jobs/{id}/result. Exactly one of
+// Figures (JobFigure jobs) or Points (JobPoints jobs) is set.
+type JobResult struct {
+	ID      string               `json:"id"`
+	Figures []experiments.Figure `json:"figures,omitempty"`
+	Points  []PointResult        `json:"points,omitempty"`
+}
+
+// job is the in-memory record of one submitted job.
+type job struct {
+	id    string
+	spec  config.JobSpec
+	total int
+	done  atomic.Int64 // points completed; written by Progress hooks
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	figures   []experiments.Figure
+	points    []PointResult
+	cancel    context.CancelFunc // non-nil while running
+	cancelled bool               // cancellation requested
+	watchers  map[chan struct{}]struct{}
+
+	// doneCh closes when the job reaches a terminal state.
+	doneCh chan struct{}
+}
+
+func newJob(id string, spec config.JobSpec, total int) *job {
+	return &job{
+		id:       id,
+		spec:     spec,
+		total:    total,
+		state:    StateQueued,
+		watchers: make(map[chan struct{}]struct{}),
+		doneCh:   make(chan struct{}),
+	}
+}
+
+// status snapshots the job for the wire.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Kind:        j.spec.Kind,
+		Figure:      j.spec.Figure,
+		Description: j.spec.Description,
+		PointsDone:  int(j.done.Load()),
+		PointsTotal: j.total,
+		Error:       j.err,
+	}
+}
+
+// watch registers a coalescing wake-up channel: notify does a
+// non-blocking send, so a slow subscriber sees bursts folded into one
+// wake-up and re-reads the current snapshot.
+func (j *job) watch() chan struct{} {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	j.watchers[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch
+}
+
+func (j *job) unwatch(ch chan struct{}) {
+	j.mu.Lock()
+	delete(j.watchers, ch)
+	j.mu.Unlock()
+}
+
+// notify wakes every watcher without blocking.
+func (j *job) notify() {
+	j.mu.Lock()
+	for ch := range j.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}

@@ -1,0 +1,473 @@
+// Package server turns the simulator into a long-running
+// simulation-as-a-service daemon: campaign jobs arrive over a JSON REST
+// API, flow through a bounded in-memory queue into a worker pool that
+// executes them via the experiments runner, and report progress through
+// polling endpoints, Server-Sent Events and expvar counters.
+//
+// API (all bodies JSON):
+//
+//	POST   /v1/jobs             submit a config.JobSpec -> 202 + JobStatus
+//	GET    /v1/jobs             list all jobs (submission order)
+//	GET    /v1/jobs/{id}        job status snapshot
+//	GET    /v1/jobs/{id}/result finished payload (409 until done)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events progress stream (SSE, ends at terminal)
+//	GET    /healthz             liveness
+//	GET    /metrics             expvar counters for this server
+//
+// Every job derives its randomness from its spec alone, so a job
+// submitted over HTTP returns bit-identical results to the same spec run
+// through the CLIs — the daemon adds concurrency and observability, not
+// noise. Errors are structured: non-2xx responses carry
+// {"error": "..."}.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"rlsched/internal/config"
+	"rlsched/internal/experiments"
+	"rlsched/internal/sched"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Jobs is the number of jobs executed concurrently (each job
+	// additionally fans its simulation points over its profile's
+	// Workers). Default 1: jobs parallelise internally, so one at a time
+	// keeps latency predictable.
+	Jobs int
+	// QueueDepth bounds how many jobs may wait behind the running ones
+	// before submissions are rejected with 429. Default 16.
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Jobs < 1 {
+		o.Jobs = 1
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 16
+	}
+	return o
+}
+
+// Server is the simulation-as-a-service daemon. Create with New, serve
+// it as an http.Handler, and stop it with Shutdown.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	// baseCtx parents every job context; cancelAll aborts all running
+	// work (forced shutdown).
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	seq    int
+	closed bool
+
+	vars *expvar.Map
+
+	// pointGate, when non-nil, runs after every completed point of every
+	// job. Tests set it (before any submission) to hold a job mid-flight
+	// so cancellation and queue-pressure paths are exercised without
+	// depending on simulation wall-clock.
+	pointGate func()
+}
+
+// metric keys published on /metrics.
+const (
+	mQueued    = "jobs_queued"
+	mRunning   = "jobs_running"
+	mDone      = "jobs_done"
+	mFailed    = "jobs_failed"
+	mCancelled = "jobs_cancelled"
+	mPoints    = "points_completed"
+)
+
+// New starts a Server: its worker pool is live immediately.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:      opts,
+		mux:       http.NewServeMux(),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		queue:     make(chan *job, opts.QueueDepth),
+		jobs:      make(map[string]*job),
+		vars:      new(expvar.Map).Init(),
+	}
+	// Pre-create every counter so /metrics shows a complete set from the
+	// first scrape. The map is per-server (not expvar.Publish'd) so
+	// multiple servers — e.g. in tests — never collide in the global
+	// registry.
+	for _, k := range []string{mQueued, mRunning, mDone, mFailed, mCancelled, mPoints} {
+		s.vars.Add(k, 0)
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.wg.Add(opts.Jobs)
+	for i := 0; i < opts.Jobs; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown stops the server: no new submissions are accepted and the
+// workers drain the queue. If ctx expires before the drain completes,
+// every remaining job is cancelled; Shutdown always waits for the
+// workers to exit before returning.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelAll()
+		<-drained
+	}
+	s.cancelAll() // release the base context in the graceful path too
+	return err
+}
+
+// writeJSON writes v as a JSON response with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes the structured error body every non-2xx response
+// carries.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// lookup resolves the {id} path segment; on miss it writes a 404 and
+// returns nil.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+	}
+	return j
+}
+
+// maxJobBody bounds a submitted job spec; profiles are a few KB, so 1
+// MiB is generous without letting a client balloon the daemon.
+const maxJobBody = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJobBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	spec, err := config.UnmarshalJob(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	total, err := spec.TotalPoints()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.seq++
+	j := newJob(fmt.Sprintf("job-%06d", s.seq), spec, total)
+	select {
+	case s.queue <- j:
+	default:
+		s.seq-- // the id was never exposed
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.opts.QueueDepth)
+		return
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	s.vars.Add(mQueued, 1)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	res := JobResult{ID: j.id, Figures: j.figures, Points: j.points}
+	j.mu.Unlock()
+	if state != StateDone {
+		writeError(w, http.StatusConflict, "job %s is %s, not done", j.id, state)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		state := j.state
+		j.mu.Unlock()
+		writeError(w, http.StatusConflict, "job %s already %s", j.id, state)
+		return
+	case j.state == StateQueued:
+		// Flip to cancelled right away; the worker skips it on pop.
+		j.cancelled = true
+		j.state = StateCancelled
+		close(j.doneCh)
+		j.mu.Unlock()
+		s.vars.Add(mQueued, -1)
+		s.vars.Add(mCancelled, 1)
+	default: // running
+		j.cancelled = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel() // the worker observes ctx and finishes as cancelled
+		}
+	}
+	j.notify()
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	tick := j.watch()
+	defer j.unwatch(tick)
+	emit := func(event string) {
+		data, _ := json.Marshal(j.status())
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		fl.Flush()
+	}
+	emit("progress")
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.doneCh:
+			emit("done")
+			return
+		case <-tick:
+			emit("progress")
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.vars.String())
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end and settles its terminal state.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		// Cancelled while queued; the cancel handler already settled it.
+		j.mu.Unlock()
+		return
+	}
+	if j.cancelled || s.baseCtx.Err() != nil {
+		// Cancelled or force-shutdown before starting.
+		j.state = StateCancelled
+		close(j.doneCh)
+		j.mu.Unlock()
+		s.vars.Add(mQueued, -1)
+		s.vars.Add(mCancelled, 1)
+		j.notify()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	j.cancel = cancel
+	j.state = StateRunning
+	j.mu.Unlock()
+	s.vars.Add(mQueued, -1)
+	s.vars.Add(mRunning, 1)
+	j.notify()
+
+	prof := j.spec.Profile
+	prof.Progress = func() {
+		j.done.Add(1)
+		s.vars.Add(mPoints, 1)
+		j.notify()
+		if s.pointGate != nil {
+			s.pointGate()
+		}
+	}
+
+	var (
+		figures []experiments.Figure
+		points  []PointResult
+		err     error
+	)
+	switch j.spec.Kind {
+	case config.JobFigure:
+		figures, err = runFigureJob(ctx, prof, j.spec.Figure)
+	case config.JobPoints:
+		var results []sched.Result
+		results, err = experiments.RunManyCtx(ctx, prof, j.spec.Points)
+		if err == nil {
+			points = make([]PointResult, len(results))
+			for i, res := range results {
+				points[i] = summarizePoint(j.spec.Points[i], res)
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown job kind %q", j.spec.Kind)
+	}
+
+	j.mu.Lock()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.figures, j.points = figures, points
+	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+		j.state = StateCancelled
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	state := j.state
+	close(j.doneCh)
+	j.mu.Unlock()
+	s.vars.Add(mRunning, -1)
+	switch state {
+	case StateDone:
+		s.vars.Add(mDone, 1)
+	case StateFailed:
+		s.vars.Add(mFailed, 1)
+	case StateCancelled:
+		s.vars.Add(mCancelled, 1)
+	}
+	j.notify()
+}
+
+// runFigureJob regenerates one figure (or the whole paper set) under the
+// job's profile — the exact code path the CLIs use, so the daemon's
+// results are bit-identical to theirs.
+func runFigureJob(ctx context.Context, p experiments.Profile, id string) ([]experiments.Figure, error) {
+	if id == experiments.FigureIDAll {
+		return experiments.AllCtx(ctx, p)
+	}
+	if isExtensionFigure(id) {
+		fig, err := experiments.ExtensionFigureByIDCtx(ctx, p, id)
+		if err != nil {
+			return nil, err
+		}
+		return []experiments.Figure{fig}, nil
+	}
+	fig, err := experiments.FigureByIDCtx(ctx, p, id)
+	if err != nil {
+		return nil, err
+	}
+	return []experiments.Figure{fig}, nil
+}
+
+func isExtensionFigure(id string) bool {
+	for _, e := range experiments.ExtensionFigureIDs {
+		if id == e {
+			return true
+		}
+	}
+	return false
+}

@@ -7,6 +7,13 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "check.sh: gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 go vet ./...
 go build ./...
 go test ./...
