@@ -57,6 +57,13 @@ type (
 	PriorityMix = workload.PriorityMix
 	// Engine wires a platform, workload and policy into one run.
 	Engine = sched.Engine
+	// InvariantError is the typed error Engine.Run returns when an
+	// internal scheduling invariant breaks — a model bug, distinct from
+	// infrastructure faults and never worth retrying.
+	InvariantError = sched.InvariantError
+	// PointError is the typed error the campaign runner returns when one
+	// simulation point panics; it carries the point's spec and the stack.
+	PointError = experiments.PointError
 	// Stream is the deterministic random number generator feeding every
 	// stochastic component.
 	Stream = rng.Stream
@@ -283,8 +290,9 @@ const (
 )
 
 // NewJobServer builds a job-queue server; serve it with net/http and
-// stop it with Shutdown.
-func NewJobServer(opts JobServerOptions) *JobServer { return server.New(opts) }
+// stop it with Shutdown. The error return covers an unusable spool
+// directory when JobServerOptions.SpoolDir enables the durable journal.
+func NewJobServer(opts JobServerOptions) (*JobServer, error) { return server.New(opts) }
 
 // MarshalJobSpec renders a job spec as indented JSON, refusing invalid
 // specs; UnmarshalJobSpec is its strict inverse (unknown fields and

@@ -91,7 +91,7 @@ func TestManualEngineAssembly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := eng.Run()
+	res := eng.MustRun()
 	if res.Completed != 150 {
 		t.Fatalf("completed %d/150", res.Completed)
 	}

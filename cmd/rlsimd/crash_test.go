@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The crash-recovery e2e re-executes this test binary as a real rlsimd
+// process (see TestMain): when RLSIMD_TEST_ARGS is set, the binary runs
+// the daemon's main loop instead of the tests, so a SIGKILL hits a
+// genuine process mid-simulation — no in-process shortcuts.
+const reexecEnv = "RLSIMD_TEST_ARGS"
+
+func TestMain(m *testing.M) {
+	if args := os.Getenv(reexecEnv); args != "" {
+		os.Exit(run(context.Background(), strings.Fields(args), os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// daemon is one subprocess incarnation of rlsimd.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startDaemon re-execs the test binary as rlsimd on an ephemeral port
+// and parses the announced listen address from its stdout.
+func startDaemon(t *testing.T, spool string) *daemon {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		reexecEnv+"=-addr 127.0.0.1:0 -spool "+spool)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting daemon: %v", err)
+	}
+	d := &daemon{cmd: cmd}
+	t.Cleanup(func() { d.kill() })
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "rlsimd listening on "); ok {
+				addrCh <- strings.TrimSpace(rest)
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case d.addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never announced its address")
+	}
+	return d
+}
+
+func (d *daemon) kill() {
+	if d.cmd.Process != nil {
+		_ = d.cmd.Process.Kill()
+		_, _ = d.cmd.Process.Wait()
+	}
+}
+
+func (d *daemon) url(path string) string { return "http://" + d.addr + path }
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// crashJobBody is a campaign big enough that a SIGKILL reliably lands
+// mid-run: hundreds of points on a single in-job worker.
+func crashJobBody() string {
+	var pts []string
+	for i := 0; i < 400; i++ {
+		pts = append(pts, fmt.Sprintf(`{"Policy": "greedy", "NumTasks": 20, "Seed": %d}`, i+1))
+	}
+	return `{"kind": "points", "points": [` + strings.Join(pts, ",") + `],
+		"profile": {"Replications": 1, "ObservationPeriod": 300, "LightTasks": 20, "HeavyTasks": 30, "Workers": 1}}`
+}
+
+// submitJob posts the body and returns the assigned job id.
+func submitJob(t *testing.T, d *daemon, body string) string {
+	t.Helper()
+	resp, err := http.Post(d.url("/v1/jobs"), "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", resp.StatusCode, m)
+	}
+	return m["id"].(string)
+}
+
+// waitDone polls the job until it settles as done and returns nothing;
+// any other terminal state fails the test.
+func waitDone(t *testing.T, d *daemon, id string) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		_, body := httpGet(t, d.url("/v1/jobs/"+id))
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case "done":
+			return
+		case "failed", "cancelled", "timeout":
+			t.Fatalf("job %s settled as %s (%s), want done", id, st.State, st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+}
+
+// TestCrashRecoveryEndToEnd is the tentpole acceptance test: submit a
+// multi-point job, SIGKILL the daemon mid-run, restart it on the same
+// spool, and require the recovered result to be byte-identical to an
+// uninterrupted daemon's result for the same spec.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash e2e skipped in -short")
+	}
+	spool := t.TempDir()
+	body := crashJobBody()
+
+	// Incarnation one: accept the job and get partway through it.
+	d1 := startDaemon(t, spool)
+	id := submitJob(t, d1, body)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never made progress before the kill")
+		}
+		_, raw := httpGet(t, d1.url("/v1/jobs/"+id))
+		var st struct {
+			State      string `json:"state"`
+			PointsDone int    `json:"points_done"`
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" {
+			t.Fatal("job finished before the kill; make the campaign bigger")
+		}
+		if st.PointsDone > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// SIGKILL: no shutdown hooks, no journal flushes — the spool holds
+	// only what was fsynced before the crash.
+	if err := d1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_, _ = d1.cmd.Process.Wait()
+
+	// Incarnation two replays the spool and finishes the job.
+	d2 := startDaemon(t, spool)
+	waitDone(t, d2, id)
+	code, recovered := httpGet(t, d2.url("/v1/jobs/"+id+"/result"))
+	if code != http.StatusOK {
+		t.Fatalf("recovered result: HTTP %d: %s", code, recovered)
+	}
+
+	// Reference: the same spec on an uninterrupted daemon with a fresh
+	// spool (first submission there gets the same job id, so the result
+	// payloads are directly comparable).
+	ref := startDaemon(t, t.TempDir())
+	refID := submitJob(t, ref, body)
+	if refID != id {
+		t.Fatalf("reference daemon assigned %s, crashed daemon %s: ids must match for the byte comparison", refID, id)
+	}
+	waitDone(t, ref, refID)
+	code, want := httpGet(t, ref.url("/v1/jobs/"+refID+"/result"))
+	if code != http.StatusOK {
+		t.Fatalf("reference result: HTTP %d", code)
+	}
+
+	if !bytes.Equal(recovered, want) {
+		t.Fatalf("recovered result differs from uninterrupted run (%d vs %d bytes)", len(recovered), len(want))
+	}
+}

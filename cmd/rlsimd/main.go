@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	rlsimd [-addr 127.0.0.1:8080] [-jobs 1] [-queue 16] [-grace 30s]
+//	rlsimd [-addr 127.0.0.1:8080] [-jobs 1] [-queue 16] [-grace 30s] [-spool DIR]
 //
 // On SIGINT/SIGTERM the daemon stops accepting jobs and waits up to
 // -grace for running jobs to finish before cancelling them.
+//
+// With -spool the daemon journals every accepted job (and its result)
+// to DIR; after a crash or kill, restarting with the same -spool
+// restores finished jobs and re-runs interrupted ones, reproducing the
+// exact results the interrupted run would have delivered.
 package main
 
 import (
@@ -41,11 +46,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("jobs", 1, "jobs executed concurrently")
 	queue := fs.Int("queue", 16, "queued jobs accepted beyond the running ones")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period for running jobs")
+	spool := fs.String("spool", "", "spool directory for the durable job journal (empty: in-memory only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	srv := server.New(server.Options{Jobs: *jobs, QueueDepth: *queue})
+	srv, err := server.New(server.Options{Jobs: *jobs, QueueDepth: *queue, SpoolDir: *spool})
+	if err != nil {
+		fmt.Fprintf(stderr, "rlsimd: %v\n", err)
+		return 1
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "rlsimd: %v\n", err)

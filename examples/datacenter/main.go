@@ -61,7 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := engine.Run()
+	res := engine.MustRun()
 
 	fmt.Printf("\ncompleted %d tasks in %.0f t units\n", res.Completed, res.EndTime)
 	fmt.Printf("avg response time %.1f (p95 %.1f)\n", res.AveRT, res.Collector.RTPercentile(95))

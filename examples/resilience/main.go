@@ -39,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	healthy := healthyEngine.Run()
+	healthy := healthyEngine.MustRun()
 
 	// Failing run: same trace replayed from CSV on a freshly built
 	// platform, with processors failing every ~500 time units on average
@@ -63,7 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	failing := failingEngine.Run()
+	failing := failingEngine.MustRun()
 
 	fmt.Printf("\n%-22s %-10s %-10s\n", "", "healthy", "failing")
 	fmt.Printf("%-22s %-10.1f %-10.1f\n", "avg response time", healthy.AveRT, failing.AveRT)

@@ -87,7 +87,7 @@ func runTrace(name string, tasks []*rlsched.Task) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := engine.Run()
+	res := engine.MustRun()
 
 	fmt.Printf("completed %d jobs in %.1f time units\n", res.Completed, res.EndTime)
 	fmt.Printf("avg response time %.2f, success %.1f%%, energy %.0f W·t\n",

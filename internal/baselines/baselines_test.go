@@ -28,7 +28,7 @@ func run(t *testing.T, policy sched.Policy, n int, seed uint64) sched.Result {
 	wcfg.SlowestSpeedMIPS = pl.SlowestSpeed()
 	tasks := workload.MustGenerate(wcfg, r.Split("workload"))
 	eng := sched.MustNew(sched.DefaultConfig(), pl, tasks, policy, r.Split("engine"))
-	return eng.Run()
+	return eng.MustRun()
 }
 
 func TestAllBaselinesComplete(t *testing.T) {

@@ -33,6 +33,18 @@ type JobSpec struct {
 	Figure string `json:"figure,omitempty"`
 	// Points lists the simulation points for JobPoints jobs.
 	Points []experiments.RunSpec `json:"points,omitempty"`
+	// TimeoutSec bounds the job's wall-clock runtime in seconds; 0 means
+	// no deadline. The daemon enforces it through the job's context,
+	// which the runner checks between simulation points, so a job
+	// overshoots its deadline by at most one point before settling as
+	// "timeout".
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// MaxRetries is how many additional times the daemon re-runs the job
+	// after a transient infrastructure fault (see server.ErrTransient).
+	// Deterministic failures — invalid points, model bugs — are never
+	// retried: re-running them reproduces the same failure. 0 means a
+	// single attempt.
+	MaxRetries int `json:"max_retries,omitempty"`
 	// Profile holds every experiment knob; omitted fields keep the
 	// default profile's values, exactly like File.Profile.
 	Profile experiments.Profile `json:"profile"`
@@ -50,6 +62,12 @@ func defaultJobSpec() JobSpec {
 func (s JobSpec) Normalize() (JobSpec, error) {
 	if err := s.Profile.Validate(); err != nil {
 		return JobSpec{}, fmt.Errorf("config: invalid profile: %w", err)
+	}
+	if s.TimeoutSec < 0 {
+		return JobSpec{}, fmt.Errorf("config: timeout_sec must be >= 0, got %g", s.TimeoutSec)
+	}
+	if s.MaxRetries < 0 {
+		return JobSpec{}, fmt.Errorf("config: max_retries must be >= 0, got %d", s.MaxRetries)
 	}
 	switch s.Kind {
 	case JobFigure:

@@ -105,11 +105,37 @@ func TestJobUnmarshalRejectsMalformedSpecs(t *testing.T) {
 		"points bad tasks":   `{"kind": "points", "points": [{"Policy": "greedy", "NumTasks": 0}]}`,
 		"invalid profile":    `{"kind": "figure", "figure": "7", "profile": {"SizeScale": -1}}`,
 		"negative workers":   `{"kind": "figure", "figure": "7", "profile": {"Workers": -1}}`,
+		"negative timeout":   `{"kind": "figure", "figure": "7", "timeout_sec": -1}`,
+		"negative retries":   `{"kind": "figure", "figure": "7", "max_retries": -1}`,
 	}
 	for name, c := range cases {
 		if _, err := UnmarshalJob([]byte(c)); err == nil {
 			t.Fatalf("%s: expected error for %s", name, c)
 		}
+	}
+}
+
+// TestJobRobustnessKnobsRoundTrip pins the wire names and survival of
+// the daemon's deadline and retry knobs.
+func TestJobRobustnessKnobsRoundTrip(t *testing.T) {
+	in := `{"kind": "figure", "figure": "7", "timeout_sec": 2.5, "max_retries": 3}`
+	s, err := UnmarshalJob([]byte(in))
+	if err != nil {
+		t.Fatalf("UnmarshalJob: %v", err)
+	}
+	if s.TimeoutSec != 2.5 || s.MaxRetries != 3 {
+		t.Fatalf("knobs = %g/%d, want 2.5/3", s.TimeoutSec, s.MaxRetries)
+	}
+	data, err := MarshalJob(s)
+	if err != nil {
+		t.Fatalf("MarshalJob: %v", err)
+	}
+	back, err := UnmarshalJob(data)
+	if err != nil {
+		t.Fatalf("re-unmarshal: %v", err)
+	}
+	if back.TimeoutSec != 2.5 || back.MaxRetries != 3 {
+		t.Fatalf("knobs after round trip = %g/%d, want 2.5/3", back.TimeoutSec, back.MaxRetries)
 	}
 }
 

@@ -24,7 +24,7 @@ func runWith(t *testing.T, policy sched.Policy, n int, seed uint64) sched.Result
 	wcfg.SlowestSpeedMIPS = pl.SlowestSpeed()
 	tasks := workload.MustGenerate(wcfg, r.Split("workload"))
 	eng := sched.MustNew(sched.DefaultConfig(), pl, tasks, policy, r.Split("engine"))
-	return eng.Run()
+	return eng.MustRun()
 }
 
 func TestConfigValidation(t *testing.T) {
@@ -82,7 +82,7 @@ func TestSharedMemoryPopulated(t *testing.T) {
 	wcfg.SlowestSpeedMIPS = pl.SlowestSpeed()
 	tasks := workload.MustGenerate(wcfg, r.Split("w"))
 	eng := sched.MustNew(sched.DefaultConfig(), pl, tasks, NewDefault(), r.Split("e"))
-	eng.Run()
+	eng.MustRun()
 	mem := eng.Memory()
 	if mem.TotalRecorded() == 0 {
 		t.Fatal("no experiences recorded in shared memory")
@@ -193,7 +193,7 @@ func TestPreserveLearningAcrossRuns(t *testing.T) {
 		wcfg.MeanInterArrival = 1
 		wcfg.SlowestSpeedMIPS = pl.SlowestSpeed()
 		tasks := workload.MustGenerate(wcfg, r.Split("workload"))
-		return sched.MustNew(sched.DefaultConfig(), pl, tasks, policy, r.Split("engine")).Run()
+		return sched.MustNew(sched.DefaultConfig(), pl, tasks, policy, r.Split("engine")).MustRun()
 	}
 	first := run(1)
 	second := run(2)
@@ -215,7 +215,7 @@ func TestPreserveLearningAcrossRuns(t *testing.T) {
 	wcfg.MeanInterArrival = 1
 	wcfg.SlowestSpeedMIPS = pl.SlowestSpeed()
 	tasks := workload.MustGenerate(wcfg, r.Split("workload"))
-	fresh := sched.MustNew(sched.DefaultConfig(), pl, tasks, freshPolicy, r.Split("engine")).Run()
+	fresh := sched.MustNew(sched.DefaultConfig(), pl, tasks, freshPolicy, r.Split("engine")).MustRun()
 
 	transferredExplore := policy.Stats().Explore
 	freshExplore := freshPolicy.Stats().Explore

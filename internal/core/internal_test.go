@@ -32,7 +32,7 @@ func newHarness(t *testing.T, cfg Config) *harness {
 	wcfg.NumTasks = 10
 	tasks := workload.MustGenerate(wcfg, r.Split("w"))
 	h.eng = sched.MustNew(sched.DefaultConfig(), pl, tasks, probe, r.Split("e"))
-	h.eng.Run()
+	h.eng.MustRun()
 	if h.ctx == nil {
 		t.Fatal("context capture failed")
 	}

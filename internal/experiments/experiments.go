@@ -19,6 +19,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 
 	"rlsched/internal/baselines/cooperative"
 	"rlsched/internal/baselines/onlinerl"
@@ -240,8 +241,17 @@ func RunWith(p Profile, spec RunSpec, policy sched.Policy) (sched.Result, error)
 }
 
 // runScenario builds a scenario with gen and runs it under policy, using
-// the single stream buildScenario hands back for the engine split.
-func runScenario(p Profile, spec RunSpec, policy sched.Policy, gen workloadGen) (sched.Result, error) {
+// the single stream buildScenario hands back for the engine split. A
+// panic escaping the engine or the policy (the engine already converts
+// its own invariant violations into a returned *InvariantError) is
+// recovered into a *PointError so one corrupted point fails its caller,
+// never the process.
+func runScenario(p Profile, spec RunSpec, policy sched.Policy, gen workloadGen) (res sched.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = sched.Result{}, &PointError{Point: spec, Index: -1, Panic: r, Stack: string(debug.Stack())}
+		}
+	}()
 	pl, tasks, r, err := buildScenario(p, spec, gen)
 	if err != nil {
 		return sched.Result{}, err
@@ -250,7 +260,7 @@ func runScenario(p Profile, spec RunSpec, policy sched.Policy, gen workloadGen) 
 	if err != nil {
 		return sched.Result{}, err
 	}
-	return eng.Run(), nil
+	return eng.Run()
 }
 
 // Run executes one simulation point under the profile.

@@ -2,14 +2,58 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"rlsched/internal/sched"
 	"rlsched/internal/stats"
 )
+
+// PointError reports a panic captured while running one simulation point.
+// The runner recovers per-point panics so one corrupted point (a policy
+// bug, an index error in a callback) fails its campaign with a structured
+// error — stack attached — instead of killing the worker pool's process.
+// Like an InvariantError it marks a deterministic model bug: re-running
+// the same spec reproduces it, so it is never worth retrying.
+type PointError struct {
+	// Point is the spec of the panicking point (zero when the panic was
+	// recovered at a layer that had no spec context).
+	Point RunSpec
+	// Index is the point's position in the submitted spec list, or -1
+	// when the panic escaped a single-point run.
+	Index int
+	// Panic is the recovered panic value.
+	Panic any
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+// Error implements the error interface; the stack is included so a job
+// record or log line carries the full context of the failure.
+func (e *PointError) Error() string {
+	s := e.Point
+	return fmt.Sprintf("experiments: point %d (%s n=%d cv=%g seed=%d) panicked: %v\n%s",
+		e.Index, s.Policy, s.NumTasks, s.HeterogeneityCV, s.Seed, e.Panic, e.Stack)
+}
+
+// runPoint invokes fn(i), converting a panic into a *PointError so a
+// worker-pool goroutine survives a corrupted point.
+func runPoint(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PointError); ok {
+				err = pe
+				return
+			}
+			err = &PointError{Index: i, Panic: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn(i)
+}
 
 // Campaign parallelism. Every simulation point derives all of its
 // randomness from its RunSpec alone (see scenarioStream), shares no
@@ -44,7 +88,7 @@ func forEachPoint(ctx context.Context, workers, n int, fn func(i int) error) err
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := runPoint(fn, i); err != nil {
 				return err
 			}
 		}
@@ -78,7 +122,7 @@ func forEachPoint(ctx context.Context, workers, n int, fn func(i int) error) err
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := runPoint(fn, i); err != nil {
 					record(i, err)
 					return
 				}
@@ -112,6 +156,11 @@ func RunManyCtx(ctx context.Context, p Profile, specs []RunSpec) ([]sched.Result
 	err := forEachPoint(ctx, p.workerCount(), len(specs), func(i int) error {
 		res, err := Run(p, specs[i])
 		if err != nil {
+			var pe *PointError
+			if errors.As(err, &pe) {
+				pe.Index = i
+				return pe
+			}
 			s := specs[i]
 			return fmt.Errorf("point %d (%s n=%d cv=%g seed=%d): %w",
 				i, s.Policy, s.NumTasks, s.HeterogeneityCV, s.Seed, err)

@@ -8,6 +8,11 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"rlsched/internal/grouping"
+	"rlsched/internal/platform"
+	"rlsched/internal/sched"
+	"rlsched/internal/workload"
 )
 
 func TestWorkerCount(t *testing.T) {
@@ -389,5 +394,114 @@ func TestReplicateLayout(t *testing.T) {
 		if s.Policy != wantPolicy || s.NumTasks != wantTasks || s.Seed != 7+uint64(i%3) {
 			t.Fatalf("spec %d = %+v", i, s)
 		}
+	}
+}
+
+// panicPolicy wraps a real policy and panics after a given number of
+// ChooseAction calls — a stand-in for a buggy custom policy.
+type panicPolicy struct {
+	inner sched.Policy
+	after int
+	calls int
+}
+
+func (p *panicPolicy) Name() string              { return "panicky" }
+func (p *panicPolicy) Init(ctx *sched.Context)   { p.inner.Init(ctx) }
+func (p *panicPolicy) OnTick(ctx *sched.Context) { p.inner.OnTick(ctx) }
+func (p *panicPolicy) ChooseAction(ctx *sched.Context, ag *sched.Agent, t *workload.Task) sched.Action {
+	p.calls++
+	if p.calls > p.after {
+		panic("injected policy bug")
+	}
+	return p.inner.ChooseAction(ctx, ag, t)
+}
+func (p *panicPolicy) PlaceGroup(ctx *sched.Context, ag *sched.Agent, g *grouping.Group, c []sched.NodeInfo) *platform.Node {
+	return p.inner.PlaceGroup(ctx, ag, g, c)
+}
+func (p *panicPolicy) OnAssigned(ctx *sched.Context, ag *sched.Agent, g *grouping.Group, n *platform.Node) {
+	p.inner.OnAssigned(ctx, ag, g, n)
+}
+func (p *panicPolicy) OnGroupComplete(ctx *sched.Context, ag *sched.Agent, g *grouping.Group) {
+	p.inner.OnGroupComplete(ctx, ag, g)
+}
+func (p *panicPolicy) OnProcessorIdle(ctx *sched.Context, pr *platform.Processor) {
+	p.inner.OnProcessorIdle(ctx, pr)
+}
+
+// TestRunWithRecoversPanicIntoPointError checks panic isolation for a
+// single-point run: a panicking policy surfaces as a *PointError carrying
+// the spec, the panic value and a stack — the process survives.
+func TestRunWithRecoversPanicIntoPointError(t *testing.T) {
+	p := fastProfile()
+	spec := RunSpec{Policy: Greedy, NumTasks: 40, Seed: 3}
+	_, err := RunWith(p, spec, &panicPolicy{inner: sched.NewGreedy(), after: 5})
+	var pe *PointError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got error %v, want *PointError", err)
+	}
+	if pe.Point != spec || pe.Index != -1 {
+		t.Fatalf("PointError context = %+v, want spec %+v at index -1", pe, spec)
+	}
+	if fmt.Sprint(pe.Panic) != "injected policy bug" {
+		t.Fatalf("panic value = %v", pe.Panic)
+	}
+	if !strings.Contains(pe.Stack, "ChooseAction") || !strings.Contains(pe.Error(), "injected policy bug") {
+		t.Fatalf("stack/message not captured:\n%v", pe)
+	}
+}
+
+// TestForEachPointRecoversWorkerPanic checks that a panic inside a
+// worker-pool goroutine fails the campaign with a structured error
+// instead of killing the process, at every worker count.
+func TestForEachPointRecoversWorkerPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := forEachPoint(context.Background(), workers, 16, func(i int) error {
+			if i == 3 {
+				panic("boom at 3")
+			}
+			return nil
+		})
+		var pe *PointError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got error %v, want *PointError", workers, err)
+		}
+		if pe.Index != 3 || fmt.Sprint(pe.Panic) != "boom at 3" {
+			t.Fatalf("workers=%d: recovered %+v", workers, pe)
+		}
+	}
+}
+
+// TestRunManyFailureInjectionDeterministicAcrossWorkers extends the
+// determinism guarantee to failure-injection campaigns: a FailureMTBF > 0
+// profile must produce bit-identical results at Workers=1 and Workers=8,
+// because each point's failure stream derives from its RunSpec alone.
+func TestRunManyFailureInjectionDeterministicAcrossWorkers(t *testing.T) {
+	p := fastProfile()
+	p.Engine.FailureMTBF = 150
+	p.Engine.RepairTime = 20
+	specs := replicate(p, []RunSpec{
+		{Policy: Greedy, NumTasks: 100},
+		{Policy: AdaptiveRL, NumTasks: 80},
+		{Policy: OnlineRL, NumTasks: 80, HeterogeneityCV: 0.5},
+	})
+	p.Workers = 1
+	serial, err := RunMany(p, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 8
+	par, err := RunMany(p, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("failure-injection results differ between Workers=1 and Workers=8")
+	}
+	injected := 0
+	for _, r := range serial {
+		injected += r.Failures
+	}
+	if injected == 0 {
+		t.Fatal("no failures injected: the campaign does not exercise the failure path")
 	}
 }

@@ -1,0 +1,176 @@
+// Package journal persists the rlsimd daemon's job lifecycle to an
+// append-only spool directory so a crashed or SIGKILLed server can pick
+// up exactly where it left off. Two record kinds are written, one JSON
+// object per line:
+//
+//   - accepted: a job entered the queue (id + full spec)
+//   - terminal: a job settled (id + state, plus the error or the result)
+//
+// A job whose journal holds an accepted record with no terminal record
+// was queued or running when the process died; because every simulation
+// point derives all of its randomness from its spec, re-running such a
+// job after restart reproduces its result byte for byte. Each append is
+// fsynced before the daemon acknowledges the event it records, and
+// replay tolerates a torn final line (a write cut short by the crash).
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// fileName is the journal file inside the spool directory.
+const fileName = "jobs.journal"
+
+// Record ops.
+const (
+	// OpAccepted records a job entering the queue.
+	OpAccepted = "accepted"
+	// OpTerminal records a job settling in a terminal state.
+	OpTerminal = "terminal"
+)
+
+// Record is one journal line.
+type Record struct {
+	Op string `json:"op"`
+	ID string `json:"id"`
+	// Spec is the accepted job spec (OpAccepted only).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// State is the terminal state (OpTerminal only): done, failed,
+	// cancelled or timeout.
+	State string `json:"state,omitempty"`
+	// Error carries the failure message of failed/timeout jobs.
+	Error string `json:"error,omitempty"`
+	// Result is the marshalled result payload of done jobs.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Entry is the folded per-job view of a journal: the accepted spec plus
+// the terminal record, if one was written before the process died.
+type Entry struct {
+	ID   string
+	Spec json.RawMessage
+	// State is empty while the job is still owed work (no terminal
+	// record): the server re-enqueues such entries on startup.
+	State  string
+	Error  string
+	Result json.RawMessage
+}
+
+// Journal appends job lifecycle records to the spool. Safe for
+// concurrent use.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Open creates the spool directory if needed, replays every record
+// already on disk and opens the journal for appending. A torn final line
+// — the typical trace of a crash mid-write — is dropped silently;
+// anything after it is unreachable and dropped with it.
+func Open(dir string) (*Journal, []Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: creating spool: %w", err)
+	}
+	path := filepath.Join(dir, fileName)
+	recs, err := replay(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: opening spool: %w", err)
+	}
+	return &Journal{f: f}, recs, nil
+}
+
+// replay reads the journal, stopping at the first unparsable line (a
+// torn tail write).
+func replay(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: reading spool: %w", err)
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			break // torn tail: the crash interrupted this write
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal: scanning spool: %w", err)
+	}
+	return recs, nil
+}
+
+// Append writes one record and fsyncs it, so the record survives a crash
+// the instant Append returns.
+func (j *Journal) Append(r Record) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("journal: encoding record: %w", err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("journal: appending record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: syncing spool: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Reduce folds raw records into per-job entries in acceptance order.
+// Terminal records without a matching accepted record are dropped (they
+// cannot be re-run: the spec is gone); a duplicate terminal record keeps
+// the last word.
+func Reduce(recs []Record) []Entry {
+	byID := make(map[string]*Entry)
+	var order []string
+	for _, r := range recs {
+		switch r.Op {
+		case OpAccepted:
+			if _, ok := byID[r.ID]; ok {
+				continue // duplicate accept: keep the first
+			}
+			byID[r.ID] = &Entry{ID: r.ID, Spec: r.Spec}
+			order = append(order, r.ID)
+		case OpTerminal:
+			e, ok := byID[r.ID]
+			if !ok {
+				continue
+			}
+			e.State, e.Error, e.Result = r.State, r.Error, r.Result
+		}
+	}
+	out := make([]Entry, len(order))
+	for i, id := range order {
+		out[i] = *byID[id]
+	}
+	return out
+}

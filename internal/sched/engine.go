@@ -296,7 +296,19 @@ func (e *Engine) Agents() []*Agent { return e.agents }
 func (e *Engine) Memory() *memory.Shared { return e.mem }
 
 // Run executes the simulation to completion and returns the summary.
-func (e *Engine) Run() Result {
+// A violated run invariant — an engine or policy bug, detected mid-run or
+// by the run-end flush — is returned as an *InvariantError rather than
+// crashing the caller; any other panic propagates unchanged.
+func (e *Engine) Run() (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ie, ok := r.(*InvariantError)
+			if !ok {
+				panic(r)
+			}
+			res, err = Result{}, ie
+		}
+	}()
 	e.policy.Init(e.ctx)
 	for _, t := range e.tasks {
 		t := t
@@ -313,10 +325,20 @@ func (e *Engine) Run() Result {
 	}
 	e.sim.Run()
 	if e.completed != len(e.tasks) {
-		panic(fmt.Sprintf("sched: run ended with %d/%d tasks completed (policy %s)",
-			e.completed, len(e.tasks), e.policy.Name()))
+		return Result{}, &InvariantError{Policy: e.policy.Name(),
+			Msg: fmt.Sprintf("run ended with %d/%d tasks completed", e.completed, len(e.tasks))}
 	}
-	return e.buildResult()
+	return e.buildResult(), nil
+}
+
+// MustRun is Run that panics on an invariant error, for callers (tests,
+// examples) where a violated invariant is fatal anyway.
+func (e *Engine) MustRun() Result {
+	res, err := e.Run()
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 func (e *Engine) buildResult() Result {
@@ -548,7 +570,7 @@ func (e *Engine) leastLoaded(candidates []NodeInfo) *platform.Node {
 // policy and starts dispatch.
 func (e *Engine) enqueue(ag *Agent, g *grouping.Group, node *platform.Node) {
 	if len(e.queues[node.ID]) >= node.QueueCap {
-		panic(fmt.Sprintf("sched: enqueue on full node %d", node.ID))
+		e.invariantf("enqueue on full node %d", node.ID)
 	}
 	now := e.sim.Now()
 	g.NodeID = node.ID
@@ -766,7 +788,7 @@ func (e *Engine) completeGroup(g *grouping.Group, node *platform.Node) {
 		}
 	}
 	if !removed {
-		panic(fmt.Sprintf("sched: completed group %d not found in node %d queue", g.ID, node.ID))
+		e.invariantf("completed group %d not found in node %d queue", g.ID, node.ID)
 	}
 	now := e.sim.Now()
 	ag := e.groupAgent[g.ID]
@@ -901,27 +923,29 @@ func (e *Engine) failProcessor(node *platform.Node, proc *platform.Processor) {
 	})
 }
 
-// finalFlush asserts run-end invariants once the last task completed.
+// finalFlush asserts run-end invariants once the last task completed. A
+// violation raises an *InvariantError (via invariantf) that Run returns
+// to its caller.
 func (e *Engine) finalFlush() {
 	for _, ag := range e.agents {
 		if ag.Merger.Pending() > 0 || len(ag.backlog) > 0 {
-			panic(fmt.Sprintf("sched: agent %d still holds work after completion", ag.ID))
+			e.invariantf("agent %d still holds work after completion", ag.ID)
 		}
 	}
 	for id, q := range e.queues {
 		if len(q) != 0 {
-			panic(fmt.Sprintf("sched: node %d queue non-empty after completion", id))
+			e.invariantf("node %d queue non-empty after completion", id)
 		}
 	}
 	for id, rl := range e.retries {
 		if len(rl) != 0 {
-			panic(fmt.Sprintf("sched: node %d retry queue non-empty after completion", id))
+			e.invariantf("node %d retry queue non-empty after completion", id)
 		}
 	}
 	if err := e.col.Validate(); err != nil {
-		panic(err)
+		e.invariantf("metric records inconsistent: %v", err)
 	}
 	if !math.IsInf(e.arrivalsEnd, 0) && e.sim.Now() < e.arrivalsEnd {
-		panic("sched: completed before the last arrival")
+		e.invariantf("completed before the last arrival")
 	}
 }

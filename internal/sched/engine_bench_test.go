@@ -41,7 +41,7 @@ func BenchmarkEngineAllocs(b *testing.B) {
 		}
 		eng := MustNew(cfg, pl, tasks, NewGreedy(), r.Split("engine"))
 		b.StartTimer()
-		res := eng.Run()
+		res := eng.MustRun()
 		if res.Completed != len(tasks) {
 			b.Fatalf("run completed %d/%d tasks", res.Completed, len(tasks))
 		}

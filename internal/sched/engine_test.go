@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"rlsched/internal/grouping"
@@ -30,7 +32,7 @@ func buildRun(t *testing.T, n int, policy Policy, seed uint64, mutate func(*Conf
 		mutate(&cfg)
 	}
 	eng := MustNew(cfg, pl, tasks, policy, r.Split("engine"))
-	return eng.Run()
+	return eng.MustRun()
 }
 
 func TestRunCompletesAllTasks(t *testing.T) {
@@ -362,7 +364,7 @@ func TestHeavyLoadBacklogDrains(t *testing.T) {
 	wcfg.SlowestSpeedMIPS = pl.SlowestSpeed()
 	tasks := workload.MustGenerate(wcfg, r.Split("w"))
 	eng := MustNew(DefaultConfig(), pl, tasks, NewGreedy(), r.Split("e"))
-	res := eng.Run()
+	res := eng.MustRun()
 	if res.Completed != 150 {
 		t.Fatalf("completed %d/150 under backlog pressure", res.Completed)
 	}
@@ -388,7 +390,7 @@ func BenchmarkEngineRun500(b *testing.B) {
 		pl := platform.MustGenerate(pcfg, rr.Split("platform"))
 		tasks := workload.MustGenerate(wcfg, rr.Split("workload"))
 		b.StartTimer()
-		MustNew(DefaultConfig(), pl, tasks, NewGreedy(), rr.Split("engine")).Run()
+		MustNew(DefaultConfig(), pl, tasks, NewGreedy(), rr.Split("engine")).MustRun()
 	}
 }
 
@@ -407,7 +409,7 @@ func TestEngineTracing(t *testing.T) {
 	ring := trace.NewRing(64, trace.LevelInfo)
 	cfg := DefaultConfig()
 	cfg.Tracer = trace.Multi{counter, ring}
-	res := MustNew(cfg, pl, tasks, NewGreedy(), r.Split("e")).Run()
+	res := MustNew(cfg, pl, tasks, NewGreedy(), r.Split("e")).MustRun()
 	if res.Completed != 120 {
 		t.Fatalf("completed %d", res.Completed)
 	}
@@ -446,7 +448,7 @@ func TestDVFSLazySavesEnergyWithCubicPower(t *testing.T) {
 		tasks := workload.MustGenerate(wcfg, r.Split("w"))
 		cfg := DefaultConfig()
 		cfg.DVFSLazy = dvfs
-		return MustNew(cfg, pl, tasks, NewGreedy(), r.Split("e")).Run()
+		return MustNew(cfg, pl, tasks, NewGreedy(), r.Split("e")).MustRun()
 	}
 	base := run(false)
 	lazy := run(true)
@@ -540,7 +542,7 @@ func TestTimelineFromEngineRun(t *testing.T) {
 	tl := trace.NewTimeline()
 	cfg := DefaultConfig()
 	cfg.Tracer = tl
-	res := MustNew(cfg, pl, tasks, NewGreedy(), r.Split("e")).Run()
+	res := MustNew(cfg, pl, tasks, NewGreedy(), r.Split("e")).MustRun()
 	if res.Completed != 150 {
 		t.Fatalf("completed %d", res.Completed)
 	}
@@ -598,7 +600,7 @@ func TestCapacityWeightedRouting(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Tracer = counter
 	eng := MustNew(cfg, pl, tasks, NewGreedy(), r.Split("e"))
-	res := eng.Run()
+	res := eng.MustRun()
 	if res.Completed != 2000 {
 		t.Fatalf("completed %d", res.Completed)
 	}
@@ -613,4 +615,59 @@ func TestCapacityWeightedRouting(t *testing.T) {
 	if math.Abs(frac1-want) > 0.05 {
 		t.Fatalf("fast site received %.2f of tasks, want ~%.2f", frac1, want)
 	}
+}
+
+// TestCorruptedQueueSurfacesInvariantError corrupts an engine's node
+// queue before the run: a stray empty group can never complete, so the
+// run-end flush must surface an *InvariantError from Run instead of
+// crashing the process.
+func TestCorruptedQueueSurfacesInvariantError(t *testing.T) {
+	r := rng.NewStream(97, "inv")
+	pcfg := platform.DefaultGenConfig()
+	pcfg.Sites = 2
+	pcfg.MinNodesPerSite, pcfg.MaxNodesPerSite = 2, 2
+	pl := platform.MustGenerate(pcfg, r.Split("p"))
+	wcfg := workload.DefaultGenConfig()
+	wcfg.NumTasks = 80
+	wcfg.MeanInterArrival = 1
+	wcfg.SlowestSpeedMIPS = pl.SlowestSpeed()
+	tasks := workload.MustGenerate(wcfg, r.Split("w"))
+	eng := MustNew(DefaultConfig(), pl, tasks, NewGreedy(), r.Split("e"))
+	// Corrupt: a group the engine never placed sits in a node queue. It
+	// holds no tasks, so it is never dispatched and never completes.
+	eng.queues[0] = append(eng.queues[0], &grouping.Group{ID: -1, NodeID: 0})
+	res, err := eng.Run()
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("corrupted queue returned (%+v, %v), want *InvariantError", res.Completed, err)
+	}
+	if !strings.Contains(ie.Error(), "queue non-empty") {
+		t.Fatalf("unexpected invariant message: %v", ie)
+	}
+	if ie.Policy == "" {
+		t.Fatal("invariant error does not name the running policy")
+	}
+}
+
+// TestMustRunPanicsOnInvariantError pins the MustRun contract for the
+// callers that kept the old panic semantics.
+func TestMustRunPanicsOnInvariantError(t *testing.T) {
+	r := rng.NewStream(98, "inv-must")
+	pcfg := platform.DefaultGenConfig()
+	pcfg.Sites = 1
+	pcfg.MinNodesPerSite, pcfg.MaxNodesPerSite = 1, 1
+	pl := platform.MustGenerate(pcfg, r.Split("p"))
+	wcfg := workload.DefaultGenConfig()
+	wcfg.NumTasks = 20
+	wcfg.MeanInterArrival = 1
+	wcfg.SlowestSpeedMIPS = pl.SlowestSpeed()
+	tasks := workload.MustGenerate(wcfg, r.Split("w"))
+	eng := MustNew(DefaultConfig(), pl, tasks, NewGreedy(), r.Split("e"))
+	eng.queues[0] = append(eng.queues[0], &grouping.Group{ID: -1, NodeID: 0})
+	defer func() {
+		if _, ok := recover().(*InvariantError); !ok {
+			t.Fatal("MustRun did not panic with the invariant error")
+		}
+	}()
+	eng.MustRun()
 }

@@ -1,0 +1,35 @@
+package sched
+
+import "fmt"
+
+// InvariantError reports a violated internal invariant of a simulation
+// run: tasks left behind after completion, a node queue that never
+// drained, inconsistent metric records. An invariant violation means the
+// engine or a policy is buggy — the run's output cannot be trusted — but
+// it is deterministic: re-running the same spec reproduces it, so callers
+// such as the rlsimd daemon can distinguish these model bugs from
+// infrastructure faults (which are worth retrying) and fail just the
+// offending job instead of crashing the process.
+type InvariantError struct {
+	// Policy names the policy that was running when the invariant fired.
+	Policy string
+	// Msg describes the violated invariant.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *InvariantError) Error() string {
+	if e.Policy != "" {
+		return fmt.Sprintf("sched: invariant violated (policy %s): %s", e.Policy, e.Msg)
+	}
+	return "sched: invariant violated: " + e.Msg
+}
+
+// invariantf raises an *InvariantError from deep inside the event loop.
+// It panics so the violation propagates out of nested simulator callbacks
+// without threading error returns through every event handler; Run
+// recovers exactly this type and returns it as its error, so callers
+// never observe the panic.
+func (e *Engine) invariantf(format string, args ...any) {
+	panic(&InvariantError{Policy: e.policy.Name(), Msg: fmt.Sprintf(format, args...)})
+}

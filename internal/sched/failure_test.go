@@ -86,7 +86,7 @@ func TestFailureEventsTraced(t *testing.T) {
 	cfg.FailureMTBF = 150
 	cfg.RepairTime = 20
 	cfg.Tracer = counter
-	res := MustNew(cfg, pl, tasks, NewGreedy(), r.Split("e")).Run()
+	res := MustNew(cfg, pl, tasks, NewGreedy(), r.Split("e")).MustRun()
 	if got := counter.Count("failure"); got != uint64(res.Failures) {
 		t.Fatalf("traced %d failures, result says %d", got, res.Failures)
 	}

@@ -27,7 +27,7 @@ func runSeed(seed uint64, n int, failures bool) Result {
 		cfg.FailureMTBF = 200
 		cfg.RepairTime = 15
 	}
-	return MustNew(cfg, pl, tasks, NewGreedy(), r.Split("engine")).Run()
+	return MustNew(cfg, pl, tasks, NewGreedy(), r.Split("engine")).MustRun()
 }
 
 // Property: for arbitrary seeds (with and without failure injection) the
@@ -105,7 +105,7 @@ func TestQuickWorkConservation(t *testing.T) {
 		wcfg.MeanInterArrival = 1.5
 		wcfg.SlowestSpeedMIPS = pl.SlowestSpeed()
 		tasks := workload.MustGenerate(wcfg, r.Split("workload"))
-		res := MustNew(DefaultConfig(), pl, tasks, NewGreedy(), r.Split("engine")).Run()
+		res := MustNew(DefaultConfig(), pl, tasks, NewGreedy(), r.Split("engine")).MustRun()
 		if res.Completed != 100 {
 			return false
 		}

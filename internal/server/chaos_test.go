@@ -1,0 +1,342 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitTerminal polls until the job settles, returning the final status.
+func waitTerminal(t *testing.T, ts string, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never settled", id)
+	return JobStatus{}
+}
+
+// TestPanicFailsOnlyItsJob injects a panic into one job's execution and
+// checks the blast radius: that job settles as failed with the panic and
+// a stack trace in its record, while the daemon keeps serving and the
+// next job completes normally.
+func TestPanicFailsOnlyItsJob(t *testing.T) {
+	s, ts := newTestServer(t, Options{Jobs: 1})
+	var arm atomic.Bool
+	arm.Store(true)
+	s.pointGate = func() {
+		if arm.Load() {
+			panic("injected chaos: policy bug")
+		}
+	}
+
+	body := `{"kind": "points", "points": [{"Policy": "greedy", "NumTasks": 10, "Seed": 1}],
+		"profile": ` + tinyProfile + `}`
+	code, m := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, m)
+	}
+	st := waitTerminal(t, ts.URL, m["id"].(string))
+	if st.State != StateFailed {
+		t.Fatalf("sabotaged job settled as %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "injected chaos") {
+		t.Fatalf("job error does not carry the panic: %q", st.Error)
+	}
+	if !strings.Contains(st.Error, "goroutine") && !strings.Contains(st.Error, ".go:") {
+		t.Fatalf("job error does not carry a stack trace: %q", st.Error)
+	}
+
+	// The daemon survived: the next, unsabotaged job runs to done.
+	arm.Store(false)
+	code, m = postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit after panic: HTTP %d: %v", code, m)
+	}
+	if st := waitTerminal(t, ts.URL, m["id"].(string)); st.State != StateDone {
+		t.Fatalf("follow-up job settled as %s (%s), want done", st.State, st.Error)
+	}
+}
+
+// TestServerGluePanicIsolated panics outside the simulation layer's own
+// recovery — in the server's execution glue — and checks that safeRun
+// contains it: the job fails with the stack, the worker survives.
+func TestServerGluePanicIsolated(t *testing.T) {
+	s, ts := newTestServer(t, Options{Jobs: 1})
+	var arm atomic.Bool
+	arm.Store(true)
+	s.faultInject = func(int) error {
+		if arm.Load() {
+			panic("glue bug")
+		}
+		return nil
+	}
+
+	body := `{"kind": "points", "points": [{"Policy": "greedy", "NumTasks": 10, "Seed": 1}],
+		"profile": ` + tinyProfile + `}`
+	code, m := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, m)
+	}
+	st := waitTerminal(t, ts.URL, m["id"].(string))
+	if st.State != StateFailed || !strings.Contains(st.Error, "glue bug") {
+		t.Fatalf("job settled as %s (%q), want failed with the panic", st.State, st.Error)
+	}
+
+	arm.Store(false)
+	code, m = postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit after glue panic: HTTP %d: %v", code, m)
+	}
+	if st := waitTerminal(t, ts.URL, m["id"].(string)); st.State != StateDone {
+		t.Fatalf("follow-up job settled as %s, want done", st.State)
+	}
+}
+
+// TestJobTimeout submits a job whose points are slowed past its
+// timeout_sec and expects the distinct timeout state.
+func TestJobTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Options{Jobs: 1})
+	// Each completed point costs 30ms, so the 20ms deadline expires
+	// before the second of five points starts.
+	s.pointGate = func() { time.Sleep(30 * time.Millisecond) }
+
+	var pts []string
+	for i := 0; i < 5; i++ {
+		pts = append(pts, fmt.Sprintf(`{"Policy": "greedy", "NumTasks": 10, "Seed": %d}`, i+1))
+	}
+	body := `{"kind": "points", "timeout_sec": 0.02, "points": [` + strings.Join(pts, ",") + `],
+		"profile": {"Replications": 1, "ObservationPeriod": 300, "LightTasks": 20, "HeavyTasks": 30, "Workers": 1}}`
+	code, m := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, m)
+	}
+	st := waitTerminal(t, ts.URL, m["id"].(string))
+	if st.State != StateTimeout {
+		t.Fatalf("job settled as %s (%q), want timeout", st.State, st.Error)
+	}
+	if !strings.Contains(st.Error, "timed out") {
+		t.Fatalf("timeout error = %q", st.Error)
+	}
+
+	_, raw := getJSON(t, ts.URL+"/metrics")
+	var vars map[string]float64
+	if err := json.Unmarshal(raw, &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars["jobs_timeout"] < 1 {
+		t.Fatalf("jobs_timeout = %v, want >= 1: %s", vars["jobs_timeout"], raw)
+	}
+}
+
+// TestTransientFaultRetried injects two transient faults and expects the
+// third attempt to succeed, with the attempt count on the wire and the
+// retry counter on /metrics.
+func TestTransientFaultRetried(t *testing.T) {
+	s, ts := newTestServer(t, Options{Jobs: 1})
+	s.retryBase = time.Millisecond
+	var calls atomic.Int64
+	s.faultInject = func(attempt int) error {
+		calls.Add(1)
+		if attempt < 2 {
+			return fmt.Errorf("scratch volume flaked: %w", ErrTransient)
+		}
+		return nil
+	}
+
+	body := `{"kind": "points", "max_retries": 3, "points": [{"Policy": "greedy", "NumTasks": 10, "Seed": 1}],
+		"profile": ` + tinyProfile + `}`
+	code, m := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, m)
+	}
+	st := waitTerminal(t, ts.URL, m["id"].(string))
+	if st.State != StateDone {
+		t.Fatalf("job settled as %s (%q), want done after retries", st.State, st.Error)
+	}
+	if st.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", st.Attempts)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("faultInject called %d times, want 3", n)
+	}
+
+	_, raw := getJSON(t, ts.URL+"/metrics")
+	var vars map[string]float64
+	if err := json.Unmarshal(raw, &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars["job_retries"] != 2 {
+		t.Fatalf("job_retries = %v, want 2: %s", vars["job_retries"], raw)
+	}
+}
+
+// TestTransientFaultExhaustsRetries keeps faulting past the retry budget
+// and expects a failed job whose attempt count equals 1 + max_retries.
+func TestTransientFaultExhaustsRetries(t *testing.T) {
+	s, ts := newTestServer(t, Options{Jobs: 1})
+	s.retryBase = time.Millisecond
+	s.faultInject = func(int) error {
+		return fmt.Errorf("still flaking: %w", ErrTransient)
+	}
+
+	body := `{"kind": "points", "max_retries": 2, "points": [{"Policy": "greedy", "NumTasks": 10, "Seed": 1}],
+		"profile": ` + tinyProfile + `}`
+	code, m := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, m)
+	}
+	st := waitTerminal(t, ts.URL, m["id"].(string))
+	if st.State != StateFailed || !strings.Contains(st.Error, "still flaking") {
+		t.Fatalf("job settled as %s (%q), want failed with the fault", st.State, st.Error)
+	}
+	if st.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + max_retries)", st.Attempts)
+	}
+}
+
+// TestDeterministicFailureNotRetried pins the retry classifier: a model
+// error (bad heterogeneity) is deterministic and must fail on the first
+// attempt regardless of the retry budget.
+func TestDeterministicFailureNotRetried(t *testing.T) {
+	s, ts := newTestServer(t, Options{Jobs: 1})
+	s.retryBase = time.Millisecond
+	body := `{"kind": "points", "max_retries": 5,
+		"points": [{"Policy": "greedy", "NumTasks": 10, "HeterogeneityCV": 99}],
+		"profile": ` + tinyProfile + `}`
+	code, m := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, m)
+	}
+	st := waitTerminal(t, ts.URL, m["id"].(string))
+	if st.State != StateFailed {
+		t.Fatalf("job settled as %s, want failed", st.State)
+	}
+	if st.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (deterministic errors are never retried)", st.Attempts)
+	}
+}
+
+// TestSSEKeepalive holds a job mid-flight and expects the quiet stream
+// to carry keepalive comments.
+func TestSSEKeepalive(t *testing.T) {
+	s, ts := newTestServer(t, Options{Jobs: 1})
+	s.keepAlive = 5 * time.Millisecond
+	release := make(chan struct{})
+	var relOnce sync.Once
+	t.Cleanup(func() { relOnce.Do(func() { close(release) }) })
+	s.pointGate = func() { <-release }
+
+	body := `{"kind": "points", "points": [
+		{"Policy": "greedy", "NumTasks": 10, "Seed": 1},
+		{"Policy": "greedy", "NumTasks": 10, "Seed": 2}
+	], "profile": {"Replications": 1, "ObservationPeriod": 300, "LightTasks": 20, "HeavyTasks": 30, "Workers": 1}}`
+	code, m := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, m)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + m["id"].(string) + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	saw := false
+	deadline := time.AfterFunc(10*time.Second, func() { resp.Body.Close() })
+	defer deadline.Stop()
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), ": keepalive") {
+			saw = true
+			break
+		}
+	}
+	if !saw {
+		t.Fatal("stream never carried a keepalive comment")
+	}
+	relOnce.Do(func() { close(release) })
+}
+
+// TestSSEClientDisconnect opens progress streams against a parked job,
+// drops them, and checks that the handler goroutines tear down promptly
+// and the job still completes. Run under -race this also shakes out
+// unsynchronised teardown.
+func TestSSEClientDisconnect(t *testing.T) {
+	s, ts := newTestServer(t, Options{Jobs: 1})
+	s.keepAlive = 5 * time.Millisecond
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var startOnce, relOnce sync.Once
+	t.Cleanup(func() { relOnce.Do(func() { close(release) }) })
+	s.pointGate = func() {
+		startOnce.Do(func() { close(started) })
+		<-release
+	}
+
+	body := `{"kind": "points", "points": [
+		{"Policy": "greedy", "NumTasks": 10, "Seed": 1},
+		{"Policy": "greedy", "NumTasks": 10, "Seed": 2}
+	], "profile": {"Replications": 1, "ObservationPeriod": 300, "LightTasks": 20, "HeavyTasks": 30, "Workers": 1}}`
+	code, m := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, m)
+	}
+	id := m["id"].(string)
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never started")
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < 4; i++ {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Read the first event so the handler is demonstrably live.
+		buf := make([]byte, 1)
+		if _, err := resp.Body.Read(buf); err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+	}
+	// Drop every client at once; the handlers must notice and exit.
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked after disconnect: %d before, %d after", before, g)
+	}
+
+	// Dropped spectators must not block the job itself.
+	relOnce.Do(func() { close(release) })
+	if st := waitTerminal(t, ts.URL, id); st.State != StateDone {
+		t.Fatalf("job settled as %s (%q), want done", st.State, st.Error)
+	}
+}

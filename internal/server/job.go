@@ -13,20 +13,24 @@ import (
 // State is the lifecycle state of a job.
 type State string
 
-// The job lifecycle: queued -> running -> done | failed | cancelled.
-// A queued job cancelled before a worker picks it up goes straight to
-// cancelled.
+// The job lifecycle: queued -> running -> done | failed | cancelled |
+// timeout. A queued job cancelled before a worker picks it up goes
+// straight to cancelled.
 const (
 	StateQueued    State = "queued"
 	StateRunning   State = "running"
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StateTimeout marks a job stopped by its own timeout_sec deadline
+	// — distinct from cancelled (a client or shutdown decision) and from
+	// failed (the job itself broke).
+	StateTimeout State = "timeout"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateTimeout
 }
 
 // JobStatus is the wire snapshot of one job, returned by GET
@@ -39,9 +43,12 @@ type JobStatus struct {
 	Description string `json:"description,omitempty"`
 	// PointsDone counts completed simulation points; PointsTotal is the
 	// job's expected total, so done/total is a completion fraction.
-	PointsDone  int    `json:"points_done"`
-	PointsTotal int    `json:"points_total"`
-	Error       string `json:"error,omitempty"`
+	PointsDone  int `json:"points_done"`
+	PointsTotal int `json:"points_total"`
+	// Attempts counts execution attempts, including the current one: it
+	// exceeds 1 only when transient faults triggered retries.
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
 }
 
 // PointResult is the compact per-point summary returned for JobPoints
@@ -88,6 +95,7 @@ type job struct {
 
 	mu        sync.Mutex
 	state     State
+	attempts  int // execution attempts so far (>1 after transient retries)
 	err       string
 	figures   []experiments.Figure
 	points    []PointResult
@@ -122,6 +130,7 @@ func (j *job) status() JobStatus {
 		Description: j.spec.Description,
 		PointsDone:  int(j.done.Load()),
 		PointsTotal: j.total,
+		Attempts:    j.attempts,
 		Error:       j.err,
 	}
 }

@@ -20,6 +20,13 @@
 // through the CLIs — the daemon adds concurrency and observability, not
 // noise. Errors are structured: non-2xx responses carry
 // {"error": "..."}.
+//
+// With Options.SpoolDir set the daemon is crash-safe: every accepted job
+// is journaled to disk before the 202 goes out and every settled job is
+// journaled with its result, so a restart replays the spool, restores
+// finished jobs byte for byte and re-enqueues whatever was queued or
+// running when the process died (determinism makes the re-run results
+// identical to what the crashed run would have produced).
 package server
 
 import (
@@ -29,13 +36,25 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"sync"
+	"time"
 
 	"rlsched/internal/config"
 	"rlsched/internal/experiments"
-	"rlsched/internal/sched"
+	"rlsched/internal/journal"
 )
+
+// ErrTransient marks an infrastructure fault — exhausted file handles, a
+// flaky scratch volume — that a retry may clear. Wrap errors with it
+// (fmt.Errorf("...: %w", ErrTransient) or errors.Join) to make the
+// worker re-run the job under its spec's max_retries budget. Simulation
+// errors are deterministic and are never wrapped: retrying a model bug
+// reproduces it.
+var ErrTransient = errors.New("transient infrastructure fault")
 
 // Options configures a Server.
 type Options struct {
@@ -47,6 +66,11 @@ type Options struct {
 	// QueueDepth bounds how many jobs may wait behind the running ones
 	// before submissions are rejected with 429. Default 16.
 	QueueDepth int
+	// SpoolDir, when non-empty, enables the durable job journal: accepted
+	// specs and terminal outcomes are fsynced to this directory, and New
+	// replays it so jobs interrupted by a crash re-run automatically.
+	// Empty keeps the daemon purely in-memory.
+	SpoolDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -73,19 +97,39 @@ type Server struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
+	// jn is the durable journal, nil when Options.SpoolDir is empty.
+	jn *journal.Journal
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	order  []string
 	seq    int
 	closed bool
+	// durSum/durN track completed job runtimes (seconds) so a 429's
+	// Retry-After can estimate when a queue slot will free up.
+	durSum float64
+	durN   int
 
 	vars *expvar.Map
+
+	// keepAlive is the SSE keepalive interval: idle streams emit a
+	// comment line this often so proxies and clients can tell a quiet
+	// job from a dead connection. Tests shorten it.
+	keepAlive time.Duration
+	// retryBase is the first retry's backoff delay; attempt k waits
+	// retryBase << k. Tests shrink it to keep retries instant.
+	retryBase time.Duration
 
 	// pointGate, when non-nil, runs after every completed point of every
 	// job. Tests set it (before any submission) to hold a job mid-flight
 	// so cancellation and queue-pressure paths are exercised without
 	// depending on simulation wall-clock.
 	pointGate func()
+	// faultInject, when non-nil, runs before each execution attempt with
+	// the attempt number; a non-nil return is treated as that attempt's
+	// error. Tests use it to exercise the retry and panic-isolation
+	// paths.
+	faultInject func(attempt int) error
 }
 
 // metric keys published on /metrics.
@@ -95,11 +139,16 @@ const (
 	mDone      = "jobs_done"
 	mFailed    = "jobs_failed"
 	mCancelled = "jobs_cancelled"
+	mTimeout   = "jobs_timeout"
+	mRetries   = "job_retries"
 	mPoints    = "points_completed"
 )
 
-// New starts a Server: its worker pool is live immediately.
-func New(opts Options) *Server {
+// New starts a Server: its worker pool is live immediately. With
+// Options.SpoolDir set it first replays the journal — finished jobs come
+// back with their results, interrupted ones go straight back into the
+// queue — and the error return covers an unreadable or unwritable spool.
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -107,17 +156,48 @@ func New(opts Options) *Server {
 		mux:       http.NewServeMux(),
 		baseCtx:   ctx,
 		cancelAll: cancel,
-		queue:     make(chan *job, opts.QueueDepth),
 		jobs:      make(map[string]*job),
 		vars:      new(expvar.Map).Init(),
+		keepAlive: 15 * time.Second,
+		retryBase: time.Second,
+	}
+	var pending []*job
+	if opts.SpoolDir != "" {
+		jn, recs, err := journal.Open(opts.SpoolDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.jn = jn
+		for _, e := range journal.Reduce(recs) {
+			// Continue the id sequence where the previous incarnation
+			// stopped, so restored and new ids never collide.
+			var n int
+			if _, err := fmt.Sscanf(e.ID, "job-%d", &n); err == nil && n > s.seq {
+				s.seq = n
+			}
+			j := restoreJob(e)
+			s.jobs[j.id] = j
+			s.order = append(s.order, j.id)
+			if j.state == StateQueued {
+				pending = append(pending, j)
+			}
+		}
+	}
+	// The queue gets extra headroom for replayed jobs so recovery never
+	// competes with fresh submissions for slots.
+	s.queue = make(chan *job, opts.QueueDepth+len(pending))
+	for _, j := range pending {
+		s.queue <- j
 	}
 	// Pre-create every counter so /metrics shows a complete set from the
 	// first scrape. The map is per-server (not expvar.Publish'd) so
 	// multiple servers — e.g. in tests — never collide in the global
 	// registry.
-	for _, k := range []string{mQueued, mRunning, mDone, mFailed, mCancelled, mPoints} {
+	for _, k := range []string{mQueued, mRunning, mDone, mFailed, mCancelled, mTimeout, mRetries, mPoints} {
 		s.vars.Add(k, 0)
 	}
+	s.vars.Add(mQueued, int64(len(pending)))
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -130,7 +210,66 @@ func New(opts Options) *Server {
 	for i := 0; i < opts.Jobs; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// restoreJob rebuilds one job from its journal entry. An entry without a
+// terminal state was queued or running at crash time and comes back as
+// queued; the caller re-enqueues it.
+func restoreJob(e journal.Entry) *job {
+	spec, err := config.UnmarshalJob(e.Spec)
+	if err != nil {
+		// The journaled spec no longer parses (schema drift across an
+		// upgrade): surface the job as failed rather than dropping it.
+		j := newJob(e.ID, config.JobSpec{}, 0)
+		j.state = StateFailed
+		j.err = fmt.Sprintf("restoring journaled spec: %v", err)
+		close(j.doneCh)
+		return j
+	}
+	total, _ := spec.TotalPoints()
+	j := newJob(e.ID, spec, total)
+	if e.State == "" {
+		return j
+	}
+	j.state = State(e.State)
+	j.err = e.Error
+	if len(e.Result) > 0 {
+		var res JobResult
+		if err := json.Unmarshal(e.Result, &res); err == nil {
+			j.figures, j.points = res.Figures, res.Points
+		}
+	}
+	if j.state == StateDone {
+		j.done.Store(int64(total))
+	}
+	close(j.doneCh)
+	return j
+}
+
+// journalAccepted persists a job's acceptance; it must succeed before
+// the 202 goes out, so an acknowledged job is never lost to a crash.
+func (s *Server) journalAccepted(j *job) error {
+	if s.jn == nil {
+		return nil
+	}
+	spec, err := json.Marshal(j.spec)
+	if err != nil {
+		return err
+	}
+	return s.jn.Append(journal.Record{Op: journal.OpAccepted, ID: j.id, Spec: spec})
+}
+
+// journalTerminal persists a job's outcome. Best-effort: if the write
+// fails the in-memory record still serves clients, and the worst case
+// after a restart is a deterministic re-run of a finished job.
+func (s *Server) journalTerminal(j *job, state State, errMsg string, result json.RawMessage) {
+	if s.jn == nil {
+		return
+	}
+	_ = s.jn.Append(journal.Record{
+		Op: journal.OpTerminal, ID: j.id, State: string(state), Error: errMsg, Result: result,
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -163,6 +302,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-drained
 	}
 	s.cancelAll() // release the base context in the graceful path too
+	if s.jn != nil {
+		_ = s.jn.Close()
+	}
 	return err
 }
 
@@ -227,8 +369,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case s.queue <- j:
 	default:
 		s.seq-- // the id was never exposed
+		sec := s.retryAfterLocked()
 		s.mu.Unlock()
-		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.opts.QueueDepth)
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		writeError(w, http.StatusTooManyRequests,
+			"job queue full (%d queued); retry in %ds", s.opts.QueueDepth, sec)
+		return
+	}
+	// Journal the acceptance before acknowledging it (the append fsyncs),
+	// so a 202 means the job survives any crash. Holding s.mu keeps the
+	// journal's acceptance order identical to the id order.
+	if err := s.journalAccepted(j); err != nil {
+		// The job already holds a queue slot; settle it terminally so the
+		// worker skips it on pop. The id is burned, not reused: a torn
+		// journal line may still carry it.
+		j.state = StateFailed
+		j.err = err.Error()
+		close(j.doneCh)
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, "journaling job: %v", err)
 		return
 	}
 	s.jobs[j.id] = j
@@ -236,6 +395,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	s.vars.Add(mQueued, 1)
 	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// retryAfterLocked estimates (in whole seconds, at least 1) how long a
+// bounced client should wait for a queue slot: the observed mean job
+// runtime times the jobs ahead of it. Callers hold s.mu.
+func (s *Server) retryAfterLocked() int {
+	mean := 1.0
+	if s.durN > 0 {
+		mean = s.durSum / float64(s.durN)
+	}
+	sec := int(math.Ceil(mean * float64(len(s.queue))))
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -294,6 +468,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.mu.Unlock()
 		s.vars.Add(mQueued, -1)
 		s.vars.Add(mCancelled, 1)
+		// A client's cancellation is a decision, not an accident: journal
+		// it so the job stays cancelled across restarts.
+		s.journalTerminal(j, StateCancelled, "", nil)
 	default: // running
 		j.cancelled = true
 		cancel := j.cancel
@@ -321,6 +498,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	tick := j.watch()
 	defer j.unwatch(tick)
+	// The keepalive comment keeps idle proxies from reaping the stream
+	// during a long quiet stretch and lets clients distinguish a slow job
+	// from a dead connection.
+	ka := time.NewTicker(s.keepAlive)
+	defer ka.Stop()
 	emit := func(event string) {
 		data, _ := json.Marshal(j.status())
 		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
@@ -330,12 +512,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			// Client went away: tear the stream down immediately. The job
+			// itself is unaffected.
 			return
 		case <-j.doneCh:
 			emit("done")
 			return
 		case <-tick:
 			emit("progress")
+		case <-ka.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
 		}
 	}
 }
@@ -353,11 +540,49 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
-		s.runJob(j)
+		s.safeRun(j)
 	}
 }
 
-// runJob executes one job end to end and settles its terminal state.
+// safeRun isolates one job execution: a panic that escapes the
+// simulation layer's own recovery (a bug in the server glue itself)
+// fails only this job — stack in the job record — and the worker lives
+// on to serve the next one.
+func (s *Server) safeRun(j *job) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		stack := string(debug.Stack())
+		j.mu.Lock()
+		if j.state.Terminal() {
+			// The panic struck after the job settled; its record and the
+			// metrics are already consistent.
+			j.mu.Unlock()
+			return
+		}
+		wasRunning := j.state == StateRunning
+		j.cancel = nil
+		j.state = StateFailed
+		j.err = fmt.Sprintf("panic: %v\n%s", r, stack)
+		errMsg := j.err
+		close(j.doneCh)
+		j.mu.Unlock()
+		if wasRunning {
+			s.vars.Add(mRunning, -1)
+		} else {
+			s.vars.Add(mQueued, -1)
+		}
+		s.vars.Add(mFailed, 1)
+		s.journalTerminal(j, StateFailed, errMsg, nil)
+		j.notify()
+	}()
+	s.runJob(j)
+}
+
+// runJob executes one job end to end — attempts, timeout, retries — and
+// settles its terminal state.
 func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	if j.state.Terminal() {
@@ -368,15 +593,27 @@ func (s *Server) runJob(j *job) {
 	if j.cancelled || s.baseCtx.Err() != nil {
 		// Cancelled or force-shutdown before starting.
 		j.state = StateCancelled
+		wasClient := j.cancelled
 		close(j.doneCh)
 		j.mu.Unlock()
 		s.vars.Add(mQueued, -1)
 		s.vars.Add(mCancelled, 1)
+		if wasClient {
+			s.journalTerminal(j, StateCancelled, "", nil)
+		}
 		j.notify()
 		return
 	}
-	ctx, cancel := context.WithCancel(s.baseCtx)
+	runCtx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
+	// The timeout wraps all attempts: a job's deadline is a budget for
+	// finishing, not a per-try allowance.
+	jobCtx := runCtx
+	if j.spec.TimeoutSec > 0 {
+		var tcancel context.CancelFunc
+		jobCtx, tcancel = context.WithTimeout(runCtx, time.Duration(j.spec.TimeoutSec*float64(time.Second)))
+		defer tcancel()
+	}
 	j.cancel = cancel
 	j.state = StateRunning
 	j.mu.Unlock()
@@ -384,6 +621,7 @@ func (s *Server) runJob(j *job) {
 	s.vars.Add(mRunning, 1)
 	j.notify()
 
+	start := time.Now()
 	prof := j.spec.Profile
 	prof.Progress = func() {
 		j.done.Add(1)
@@ -399,35 +637,52 @@ func (s *Server) runJob(j *job) {
 		points  []PointResult
 		err     error
 	)
-	switch j.spec.Kind {
-	case config.JobFigure:
-		figures, err = runFigureJob(ctx, prof, j.spec.Figure)
-	case config.JobPoints:
-		var results []sched.Result
-		results, err = experiments.RunManyCtx(ctx, prof, j.spec.Points)
-		if err == nil {
-			points = make([]PointResult, len(results))
-			for i, res := range results {
-				points[i] = summarizePoint(j.spec.Points[i], res)
-			}
+	for attempt := 0; ; attempt++ {
+		j.mu.Lock()
+		j.attempts = attempt + 1
+		j.mu.Unlock()
+		// A retry re-runs every point, so the progress counter restarts.
+		j.done.Store(0)
+		figures, points, err = s.execute(jobCtx, j, prof, attempt)
+		if err == nil || !errors.Is(err, ErrTransient) ||
+			attempt >= j.spec.MaxRetries || jobCtx.Err() != nil {
+			break
 		}
-	default:
-		err = fmt.Errorf("unknown job kind %q", j.spec.Kind)
+		s.vars.Add(mRetries, 1)
+		backoff := time.NewTimer(s.retryBase << attempt)
+		select {
+		case <-jobCtx.Done():
+			backoff.Stop()
+		case <-backoff.C:
+		}
 	}
+	elapsed := time.Since(start).Seconds()
 
 	j.mu.Lock()
 	j.cancel = nil
+	var termResult json.RawMessage
+	journalIt := true
 	switch {
 	case err == nil:
 		j.state = StateDone
 		j.figures, j.points = figures, points
-	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+		termResult, _ = json.Marshal(JobResult{ID: j.id, Figures: figures, Points: points})
+	case jobCtx.Err() == context.DeadlineExceeded && runCtx.Err() == nil:
+		j.state = StateTimeout
+		j.err = fmt.Sprintf("timed out after %gs", j.spec.TimeoutSec)
+	case j.cancelled:
 		j.state = StateCancelled
+	case errors.Is(err, context.Canceled) || runCtx.Err() != nil:
+		// Shutdown took the job down, not a client: leave no terminal
+		// record so a restart picks the job back up, exactly as after a
+		// crash.
+		j.state = StateCancelled
+		journalIt = false
 	default:
 		j.state = StateFailed
 		j.err = err.Error()
 	}
-	state := j.state
+	state, errMsg := j.state, j.err
 	close(j.doneCh)
 	j.mu.Unlock()
 	s.vars.Add(mRunning, -1)
@@ -438,8 +693,43 @@ func (s *Server) runJob(j *job) {
 		s.vars.Add(mFailed, 1)
 	case StateCancelled:
 		s.vars.Add(mCancelled, 1)
+	case StateTimeout:
+		s.vars.Add(mTimeout, 1)
+	}
+	s.mu.Lock()
+	s.durSum += elapsed
+	s.durN++
+	s.mu.Unlock()
+	if journalIt {
+		s.journalTerminal(j, state, errMsg, termResult)
 	}
 	j.notify()
+}
+
+// execute runs one attempt of the job's workload under ctx.
+func (s *Server) execute(ctx context.Context, j *job, prof experiments.Profile, attempt int) ([]experiments.Figure, []PointResult, error) {
+	if s.faultInject != nil {
+		if err := s.faultInject(attempt); err != nil {
+			return nil, nil, err
+		}
+	}
+	switch j.spec.Kind {
+	case config.JobFigure:
+		figures, err := runFigureJob(ctx, prof, j.spec.Figure)
+		return figures, nil, err
+	case config.JobPoints:
+		results, err := experiments.RunManyCtx(ctx, prof, j.spec.Points)
+		if err != nil {
+			return nil, nil, err
+		}
+		points := make([]PointResult, len(results))
+		for i, res := range results {
+			points[i] = summarizePoint(j.spec.Points[i], res)
+		}
+		return nil, points, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown job kind %q", j.spec.Kind)
+	}
 }
 
 // runFigureJob regenerates one figure (or the whole paper set) under the

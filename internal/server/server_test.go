@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -34,7 +35,10 @@ func tinyProfileValue() experiments.Profile {
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
@@ -437,13 +441,27 @@ func TestQueueFull(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("submit 2: HTTP %d: %v", code, m)
 	}
-	// ...so the third must bounce with a structured 429.
-	code, m = postJob(t, ts, blocker)
-	if code != http.StatusTooManyRequests {
-		t.Fatalf("submit 3: HTTP %d: %v, want 429", code, m)
+	// ...so the third must bounce with a structured 429 carrying a
+	// Retry-After the client can actually sleep on.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(blocker))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if msg, ok := m["error"].(string); !ok || !strings.Contains(msg, "queue full") {
-		t.Fatalf("429 body: %v", m)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit 3: HTTP %d, want 429", resp.StatusCode)
+	}
+	var m3 map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m3); err != nil {
+		t.Fatal(err)
+	}
+	if msg, ok := m3["error"].(string); !ok || !strings.Contains(msg, "queue full") {
+		t.Fatalf("429 body: %v", m3)
+	}
+	ra := resp.Header.Get("Retry-After")
+	sec, err := strconv.Atoi(ra)
+	if err != nil || sec < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", ra)
 	}
 }
 
@@ -526,7 +544,10 @@ func TestFailedJob(t *testing.T) {
 // expects the running job to settle as cancelled and submissions to be
 // refused afterwards.
 func TestShutdownCancelsRunning(t *testing.T) {
-	s := New(Options{Jobs: 1})
+	s, err := New(Options{Jobs: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 	// The gate parks the job until the forced shutdown cancels its
