@@ -19,6 +19,7 @@ import (
 
 	"rlsched/internal/config"
 	"rlsched/internal/experiments"
+	"rlsched/internal/obs"
 	"rlsched/internal/report"
 )
 
@@ -42,8 +43,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outDir := fs.String("out", "", "directory to write one CSV per figure")
 	configPath := fs.String("config", "", "profile JSON (default: built-in profile)")
 	workers := fs.Int("workers", 0, "simulation points run concurrently (0 = one per CPU, 1 = serial)")
+	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintf(stdout, "experiments %s\n", obs.ReadBuildInfo())
+		return 0
 	}
 
 	profile := experiments.DefaultProfile()

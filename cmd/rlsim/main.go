@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"rlsched"
+	"rlsched/internal/obs"
 )
 
 func main() {
@@ -33,8 +34,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dumpTasks := fs.String("dump-tasks", "", "write per-task records CSV to this file")
 	dumpGroups := fs.String("dump-groups", "", "write per-group records CSV to this file")
 	dumpGantt := fs.String("dump-gantt", "", "write the per-processor schedule (Gantt CSV) to this file")
+	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintf(stdout, "rlsim %s\n", obs.ReadBuildInfo())
+		return 0
 	}
 
 	profile := rlsched.DefaultProfile()

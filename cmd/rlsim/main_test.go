@@ -55,3 +55,13 @@ func TestRunDumpGantt(t *testing.T) {
 		t.Fatal("gantt CSV empty")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr=%q", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "rlsim ") || !strings.Contains(out.String(), "go1") {
+		t.Fatalf("version output: %q", out.String())
+	}
+}

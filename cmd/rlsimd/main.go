@@ -6,6 +6,11 @@
 // Usage:
 //
 //	rlsimd [-addr 127.0.0.1:8080] [-jobs 1] [-queue 16] [-grace 30s] [-spool DIR]
+//	       [-pprof] [-log-level info] [-version]
+//
+// The daemon serves Prometheus-format metrics on /metrics and logs
+// structured JSON lines to stderr; -pprof additionally mounts
+// net/http/pprof under /debug/pprof/ for live profiling.
 //
 // On SIGINT/SIGTERM the daemon stops accepting jobs and waits up to
 // -grace for running jobs to finish before cancelling them.
@@ -21,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -28,8 +34,24 @@ import (
 	"syscall"
 	"time"
 
+	"rlsched/internal/obs"
 	"rlsched/internal/server"
 )
+
+// parseLevel maps the -log-level flag to a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -47,15 +69,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	queue := fs.Int("queue", 16, "queued jobs accepted beyond the running ones")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period for running jobs")
 	spool := fs.String("spool", "", "spool directory for the durable job journal (empty: in-memory only)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug|info|warn|error")
+	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *version {
+		fmt.Fprintf(stdout, "rlsimd %s\n", obs.ReadBuildInfo())
+		return 0
+	}
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "rlsimd: %v\n", err)
+		return 2
+	}
 
-	srv, err := server.New(server.Options{Jobs: *jobs, QueueDepth: *queue, SpoolDir: *spool})
+	srv, err := server.New(server.Options{
+		Jobs:       *jobs,
+		QueueDepth: *queue,
+		SpoolDir:   *spool,
+		Logger:     obs.NewLogger(stderr, level),
+		Pprof:      *pprofOn,
+	})
 	if err != nil {
 		fmt.Fprintf(stderr, "rlsimd: %v\n", err)
 		return 1
 	}
+	obs.RegisterBuildInfo(srv.Registry(), obs.ReadBuildInfo())
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "rlsimd: %v\n", err)

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rlsched/internal/obs"
+)
+
+// bootDaemon boots the daemon on an ephemeral port with the given extra
+// flags and returns its address plus a stop function that asserts a
+// clean exit.
+func bootDaemon(t *testing.T, extra ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &lockedBuffer{}
+	errOut := &lockedBuffer{}
+	codeCh := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-grace", "5s"}, extra...)
+	go func() { codeCh <- run(ctx, args, out, errOut) }()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never announced its address; stdout=%q stderr=%q", out.String(), errOut.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "rlsimd listening on "); ok {
+				addr = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return addr, func() {
+		cancel()
+		select {
+		case code := <-codeCh:
+			if code != 0 {
+				t.Fatalf("exit code = %d, want 0; stderr=%q", code, errOut.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not stop after cancel")
+		}
+	}
+}
+
+// TestMetricsSmoke is the scrape smoke check CI runs against a real
+// daemon process path: boot rlsimd, fetch /metrics over TCP, and
+// validate the exposition with the obs parser — format, content type and
+// the presence of the daemon's core series including build_info.
+func TestMetricsSmoke(t *testing.T) {
+	addr, stop := bootDaemon(t)
+	defer stop()
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scraping /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("/metrics Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	names := make(map[string]bool, len(samples))
+	for _, s := range samples {
+		names[s.Name] = true
+	}
+	for _, want := range []string{
+		"build_info", "jobs_queued", "jobs_running", "jobs_total",
+		"queue_depth", "worker_utilization", "go_goroutines",
+		"job_queue_wait_seconds_bucket", "job_run_seconds_bucket",
+	} {
+		if !names[want] {
+			t.Fatalf("scrape missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestPprofFlag checks -pprof mounts the profiling mux on the daemon.
+func TestPprofFlag(t *testing.T) {
+	addr, stop := bootDaemon(t, "-pprof")
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/: HTTP %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(context.Background(), []string{"-version"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr=%q", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "rlsimd ") || !strings.Contains(out.String(), "go1") {
+		t.Fatalf("version output: %q", out.String())
+	}
+}
+
+func TestBadLogLevel(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(context.Background(), []string{"-log-level", "loud"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown log level") {
+		t.Fatalf("stderr: %q", errOut.String())
+	}
+}

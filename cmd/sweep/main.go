@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"rlsched"
+	"rlsched/internal/obs"
 )
 
 func parseFloats(s string) ([]float64, error) {
@@ -66,8 +67,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "base seed")
 	configPath := fs.String("config", "", "profile JSON (default: built-in profile)")
 	workers := fs.Int("workers", 0, "points run concurrently (0 = one per CPU, 1 = serial)")
+	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintf(stdout, "sweep %s\n", obs.ReadBuildInfo())
+		return 0
 	}
 
 	profile := rlsched.DefaultProfile()

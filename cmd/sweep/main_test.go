@@ -43,3 +43,13 @@ func TestRunTinySweep(t *testing.T) {
 		t.Fatalf("rows out of order:\n%s", out.String())
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr=%q", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "sweep ") || !strings.Contains(out.String(), "go1") {
+		t.Fatalf("version output: %q", out.String())
+	}
+}

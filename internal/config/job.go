@@ -45,6 +45,11 @@ type JobSpec struct {
 	// retried: re-running them reproduces the same failure. 0 means a
 	// single attempt.
 	MaxRetries int `json:"max_retries,omitempty"`
+	// Trace, when true, attaches a bounded ring tracer to the job's
+	// engine runs; the retained events are served by GET
+	// /v1/jobs/{id}/trace. Off by default: an untraced job pays no
+	// tracing cost at all (the endpoint then returns 404).
+	Trace bool `json:"trace,omitempty"`
 	// Profile holds every experiment knob; omitted fields keep the
 	// default profile's values, exactly like File.Profile.
 	Profile experiments.Profile `json:"profile"`

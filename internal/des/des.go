@@ -94,11 +94,12 @@ func (h *eventHeap) Pop() any {
 
 // Simulator owns the virtual clock and the pending-event queue.
 type Simulator struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
-	fired   uint64
-	stopped bool
+	now      Time
+	seq      uint64
+	queue    eventHeap
+	fired    uint64
+	maxQueue int
+	stopped  bool
 
 	// free recycles popped heap items so steady-state scheduling does not
 	// allocate (a simulation fires millions of events; see item.gen for
@@ -132,6 +133,11 @@ func (s *Simulator) Pending() int {
 // Fired returns the number of events executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
 
+// HeapHighWater returns the largest pending-event queue length observed
+// so far (cancelled-but-unreaped entries included) — a cheap proxy for
+// the simulation's peak event pressure.
+func (s *Simulator) HeapHighWater() int { return s.maxQueue }
+
 // At schedules ev to fire at absolute time at. Scheduling in the past
 // (before Now) panics: it would silently corrupt causality.
 func (s *Simulator) At(at Time, ev Event) Handle {
@@ -151,6 +157,9 @@ func (s *Simulator) At(at Time, ev Event) Handle {
 	}
 	s.seq++
 	heap.Push(&s.queue, it)
+	if len(s.queue) > s.maxQueue {
+		s.maxQueue = len(s.queue)
+	}
 	return Handle{item: it, gen: it.gen}
 }
 

@@ -19,6 +19,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime/debug"
 
 	"rlsched/internal/baselines/cooperative"
@@ -26,6 +27,7 @@ import (
 	"rlsched/internal/baselines/predictive"
 	"rlsched/internal/baselines/qplus"
 	"rlsched/internal/core"
+	"rlsched/internal/obs"
 	"rlsched/internal/platform"
 	"rlsched/internal/rng"
 	"rlsched/internal/sched"
@@ -114,6 +116,18 @@ type Profile struct {
 	// be safe for concurrent use and cheap — it sits on the campaign hot
 	// path. Runtime-only: never serialised, never affects results.
 	Progress func() `json:"-"`
+	// Metrics, when non-nil, receives campaign telemetry: RunManyCtx
+	// records each completed point's wall-clock duration into a
+	// point_run_seconds histogram. Like Progress it is runtime-only and
+	// never affects results; a nil registry costs nothing (not even a
+	// clock read).
+	Metrics *obs.Registry `json:"-"`
+	// Logger, when non-nil, receives a warning for every point whose
+	// wall-clock duration exceeds SlowPointSec. Runtime-only.
+	Logger *slog.Logger `json:"-"`
+	// SlowPointSec is the slow-point warning threshold in seconds; 0 (the
+	// default) disables the warnings.
+	SlowPointSec float64
 }
 
 // DefaultProfile returns the tuned defaults used for every figure.
@@ -159,6 +173,8 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("experiments: invalid light/heavy task counts %d/%d", p.LightTasks, p.HeavyTasks)
 	case p.Workers < 0:
 		return fmt.Errorf("experiments: Workers must be >= 0, got %d", p.Workers)
+	case p.SlowPointSec < 0:
+		return fmt.Errorf("experiments: SlowPointSec must be >= 0, got %g", p.SlowPointSec)
 	}
 	return p.Mix.Validate()
 }

@@ -8,7 +8,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"rlsched/internal/obs"
 	"rlsched/internal/sched"
 	"rlsched/internal/stats"
 )
@@ -147,14 +149,37 @@ func RunMany(p Profile, specs []RunSpec) ([]sched.Result, error) {
 // RunManyCtx is RunMany under a context: cancelling ctx stops issuing new
 // points, discards any completed work and returns the context's error.
 // After each completed point the profile's Progress hook (if set) is
-// invoked, so a caller can observe how far a campaign has advanced.
+// invoked, so a caller can observe how far a campaign has advanced; the
+// profile's Metrics registry (if set) records the point's wall-clock
+// duration, and points slower than SlowPointSec are logged as warnings.
 func RunManyCtx(ctx context.Context, p Profile, specs []RunSpec) ([]sched.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// Resolve instrumentation once, outside the hot loop: points pay a
+	// clock read only when someone is listening.
+	var pointHist *obs.Histogram
+	if p.Metrics != nil {
+		pointHist = p.Metrics.Histogram("point_run_seconds", "Wall-clock duration of one simulation point.", obs.DefBuckets)
+	}
+	timed := pointHist != nil || (p.Logger != nil && p.SlowPointSec > 0)
 	out := make([]sched.Result, len(specs))
 	err := forEachPoint(ctx, p.workerCount(), len(specs), func(i int) error {
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
 		res, err := Run(p, specs[i])
+		if timed {
+			el := time.Since(start).Seconds()
+			pointHist.Observe(el)
+			if p.Logger != nil && p.SlowPointSec > 0 && el > p.SlowPointSec {
+				s := specs[i]
+				p.Logger.Warn("slow simulation point",
+					"index", i, "policy", string(s.Policy), "tasks", s.NumTasks,
+					"cv", s.HeterogeneityCV, "seed", s.Seed, "seconds", el)
+			}
+		}
 		if err != nil {
 			var pe *PointError
 			if errors.As(err, &pe) {

@@ -1,15 +1,18 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
 
 	"rlsched/internal/grouping"
+	"rlsched/internal/obs"
 	"rlsched/internal/platform"
 	"rlsched/internal/sched"
 	"rlsched/internal/workload"
@@ -503,5 +506,56 @@ func TestRunManyFailureInjectionDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if injected == 0 {
 		t.Fatal("no failures injected: the campaign does not exercise the failure path")
+	}
+}
+
+// TestRunManyRecordsPointMetrics attaches the full campaign telemetry —
+// metrics registry, logger and a threshold guaranteed to trip — and
+// checks every completed point shows up in the point_run_seconds
+// histogram and as a slow-point warning.
+func TestRunManyRecordsPointMetrics(t *testing.T) {
+	p := fastProfile()
+	p.Workers = 4
+	reg := obs.NewRegistry()
+	var logBuf bytes.Buffer
+	p.Metrics = reg
+	p.Logger = obs.NewLogger(&logBuf, slog.LevelInfo)
+	p.SlowPointSec = 1e-12 // every point is "slow"
+	specs := replicate(p, []RunSpec{
+		{Policy: Greedy, NumTasks: 60},
+		{Policy: AdaptiveRL, NumTasks: 60},
+	})
+	if _, err := RunMany(p, specs); err != nil {
+		t.Fatal(err)
+	}
+	h := reg.Histogram("point_run_seconds", "", obs.DefBuckets).Snapshot()
+	if h.Count != uint64(len(specs)) {
+		t.Fatalf("point_run_seconds count = %d, want %d", h.Count, len(specs))
+	}
+	if h.Sum <= 0 {
+		t.Fatalf("point_run_seconds sum = %g, want > 0", h.Sum)
+	}
+	if got := strings.Count(logBuf.String(), "slow simulation point"); got != len(specs) {
+		t.Fatalf("slow-point warnings = %d, want %d\n%s", got, len(specs), logBuf.String())
+	}
+}
+
+// TestRunManyNoMetricsIsInert guards the disabled path: with no registry
+// and no logger the runner must not even read the clock (timed == false),
+// and results stay identical to an instrumented run.
+func TestRunManyNoMetricsIsInert(t *testing.T) {
+	p := fastProfile()
+	specs := replicate(p, []RunSpec{{Policy: Greedy, NumTasks: 60}})
+	plain, err := RunMany(p, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Metrics = obs.NewRegistry()
+	instrumented, err := RunMany(p, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, instrumented) {
+		t.Fatal("instrumentation changed simulation results")
 	}
 }

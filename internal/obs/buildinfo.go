@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo summarises how the running binary was built, for -version
+// flags and the daemon's build_info metric.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for plain go build).
+	Version string
+	// Revision is the VCS revision the binary was built from, with a
+	// "-dirty" suffix for modified working trees ("" when unstamped).
+	Revision string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+}
+
+// ReadBuildInfo extracts the binary's build metadata from the runtime.
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{Version: "(devel)", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(bi.Revision) > 12 {
+		bi.Revision = bi.Revision[:12]
+	}
+	if dirty && bi.Revision != "" {
+		bi.Revision += "-dirty"
+	}
+	return bi
+}
+
+// String renders the one-line -version output for a named binary.
+func (b BuildInfo) String() string {
+	if b.Revision == "" {
+		return fmt.Sprintf("%s %s", b.Version, b.GoVersion)
+	}
+	return fmt.Sprintf("%s (%s) %s", b.Version, b.Revision, b.GoVersion)
+}
+
+// RegisterBuildInfo publishes the constant build_info gauge (value 1,
+// build metadata as labels) — the standard Prometheus idiom for joining
+// deploy metadata onto other series.
+func RegisterBuildInfo(reg *Registry, bi BuildInfo) {
+	rev := bi.Revision
+	if rev == "" {
+		rev = "unknown"
+	}
+	reg.Gauge("build_info", "Build metadata of the running binary; constant 1.",
+		L("version", bi.Version), L("revision", rev), L("goversion", bi.GoVersion)).Set(1)
+}

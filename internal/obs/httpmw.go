@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPMetrics instruments handlers of one server: per-route request
+// counts (by status code), latency histograms and an in-flight gauge,
+// plus request-ID assignment and request logging. Create one per server
+// and wrap each route with Handler.
+type HTTPMetrics struct {
+	reg   *Registry
+	log   *slog.Logger
+	seq   atomic.Uint64
+	inFlt *Gauge
+}
+
+// NewHTTPMetrics creates the middleware state publishing into reg and
+// logging request completions to log at debug level (use NopLogger to
+// disable). Nil reg disables metrics; the middleware still assigns
+// request IDs.
+func NewHTTPMetrics(reg *Registry, log *slog.Logger) *HTTPMetrics {
+	if log == nil {
+		log = NopLogger()
+	}
+	return &HTTPMetrics{
+		reg:   reg,
+		log:   log,
+		inFlt: reg.Gauge("http_requests_in_flight", "HTTP requests currently being served."),
+	}
+}
+
+// statusWriter captures the response status while passing the Flusher
+// through, so SSE streaming keeps working behind the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the wrapped writer does.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// Handler wraps one route's handler: it assigns (or propagates) the
+// X-Request-ID, counts the request under the route label, times it into
+// the route's latency histogram and tracks the in-flight gauge. route
+// should be the mux pattern ("POST /v1/jobs"), not the raw URL, so label
+// cardinality stays bounded.
+func (m *HTTPMetrics) Handler(route string, next http.HandlerFunc) http.HandlerFunc {
+	hist := m.reg.Histogram("http_request_seconds",
+		"HTTP request latency by route.", DefBuckets, L("route", route))
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = fmt.Sprintf("req-%06d", m.seq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		ctx := WithRequestID(r.Context(), reqID)
+		sw := &statusWriter{ResponseWriter: w}
+		m.inFlt.Add(1)
+		start := time.Now()
+		next(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		m.inFlt.Add(-1)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		hist.Observe(elapsed.Seconds())
+		m.reg.Counter("http_requests_total", "HTTP requests served by route and status code.",
+			L("route", route), L("code", strconv.Itoa(sw.code))).Inc()
+		m.log.DebugContext(ctx, "http request",
+			"route", route, "code", sw.code, "elapsed_ms", float64(elapsed.Microseconds())/1000)
+	}
+}

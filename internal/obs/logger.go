@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Context keys for correlation IDs. Unexported types keep the keys
+// collision-free across packages.
+type ctxKey int
+
+const (
+	ctxRequestID ctxKey = iota
+	ctxJobID
+)
+
+// WithRequestID returns a context carrying the HTTP request's correlation
+// ID; the correlation logger stamps it on every record logged under the
+// context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxRequestID, id)
+}
+
+// RequestID extracts the request correlation ID ("" when absent).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxRequestID).(string)
+	return id
+}
+
+// WithJobID returns a context carrying the job ID being served or
+// executed.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxJobID, id)
+}
+
+// JobID extracts the job correlation ID ("" when absent).
+func JobID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxJobID).(string)
+	return id
+}
+
+// correlationHandler decorates a slog.Handler with the request/job IDs
+// found in each record's context, so call sites log plain messages and
+// correlation comes from context plumbing alone.
+type correlationHandler struct {
+	slog.Handler
+}
+
+func (h correlationHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := RequestID(ctx); id != "" {
+		rec.AddAttrs(slog.String("request_id", id))
+	}
+	if id := JobID(ctx); id != "" {
+		rec.AddAttrs(slog.String("job_id", id))
+	}
+	return h.Handler.Handle(ctx, rec)
+}
+
+func (h correlationHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return correlationHandler{h.Handler.WithAttrs(attrs)}
+}
+
+func (h correlationHandler) WithGroup(name string) slog.Handler {
+	return correlationHandler{h.Handler.WithGroup(name)}
+}
+
+// NewLogger builds the daemon's structured logger: line-delimited JSON on
+// w at the given level, with request_id/job_id correlation attributes
+// injected from each log call's context.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(correlationHandler{h})
+}
+
+// discardHandler drops every record (slog.DiscardHandler exists only from
+// Go 1.24; the module targets 1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// NopLogger returns a logger that discards everything — the nil-safe
+// default for library code offered an optional *slog.Logger.
+func NopLogger() *slog.Logger { return slog.New(discardHandler{}) }

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoggerCorrelation(t *testing.T) {
+	var buf strings.Builder
+	log := NewLogger(&buf, slog.LevelDebug)
+	ctx := WithJobID(WithRequestID(context.Background(), "req-000042"), "job-000007")
+	log.InfoContext(ctx, "job accepted", "kind", "figure")
+	log.Info("no correlation")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines: %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("log line not JSON: %v: %s", err, lines[0])
+	}
+	if rec["request_id"] != "req-000042" || rec["job_id"] != "job-000007" || rec["kind"] != "figure" {
+		t.Fatalf("correlation attrs missing: %v", rec)
+	}
+	if strings.Contains(lines[1], "request_id") {
+		t.Fatalf("uncorrelated line carries request_id: %s", lines[1])
+	}
+}
+
+func TestContextHelpers(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" || JobID(ctx) != "" {
+		t.Fatal("empty context returned IDs")
+	}
+	ctx = WithRequestID(ctx, "r1")
+	ctx = WithJobID(ctx, "j1")
+	if RequestID(ctx) != "r1" || JobID(ctx) != "j1" {
+		t.Fatal("context round-trip failed")
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	log := NopLogger()
+	if log.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("nop logger claims to be enabled")
+	}
+	log.Error("dropped") // must not panic
+}
+
+func TestSamplerPublishesRuntimeGauges(t *testing.T) {
+	reg := NewRegistry()
+	hooked := make(chan struct{}, 16)
+	s := StartSampler(reg, time.Millisecond, func(r *Registry) {
+		r.Gauge("custom_gauge", "").Set(42)
+		select {
+		case hooked <- struct{}{}:
+		default:
+		}
+	})
+	<-hooked
+	s.Stop()
+	if g := reg.Gauge("go_goroutines", "").Value(); g < 1 {
+		t.Fatalf("go_goroutines = %g, want >= 1", g)
+	}
+	if reg.Gauge("go_heap_alloc_bytes", "").Value() <= 0 {
+		t.Fatal("heap gauge not set")
+	}
+	if reg.Gauge("custom_gauge", "").Value() != 42 {
+		t.Fatal("sampler hook did not run")
+	}
+	if StartSampler(nil, time.Second, nil) != nil {
+		t.Fatal("nil registry sampler not nil")
+	}
+	var nilS *Sampler
+	nilS.Stop() // must not panic
+}
+
+func TestHTTPMiddleware(t *testing.T) {
+	reg := NewRegistry()
+	mw := NewHTTPMetrics(reg, NopLogger())
+	var gotReqID string
+	h := mw.Handler("GET /ping", func(w http.ResponseWriter, r *http.Request) {
+		gotReqID = RequestID(r.Context())
+		if _, ok := w.(http.Flusher); !ok {
+			t.Error("middleware writer lost http.Flusher")
+		}
+		w.WriteHeader(http.StatusTeapot)
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if hdr := resp.Header.Get("X-Request-ID"); hdr == "" || hdr != gotReqID {
+		t.Fatalf("request id header %q vs context %q", hdr, gotReqID)
+	}
+
+	// A caller-supplied X-Request-ID is propagated, not replaced.
+	req, _ := http.NewRequest("GET", srv.URL, nil)
+	req.Header.Set("X-Request-ID", "caller-7")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if gotReqID != "caller-7" || resp2.Header.Get("X-Request-ID") != "caller-7" {
+		t.Fatalf("caller request id not propagated: ctx=%q hdr=%q", gotReqID, resp2.Header.Get("X-Request-ID"))
+	}
+
+	if got := reg.Counter("http_requests_total", "", L("route", "GET /ping"), L("code", "418")).Value(); got != 2 {
+		t.Fatalf("http_requests_total = %d, want 2", got)
+	}
+	if s := reg.Histogram("http_request_seconds", "", DefBuckets, L("route", "GET /ping")).Snapshot(); s.Count != 2 {
+		t.Fatalf("latency histogram count = %d, want 2", s.Count)
+	}
+	if v := reg.Gauge("http_requests_in_flight", "").Value(); v != 0 {
+		t.Fatalf("in-flight gauge = %g, want 0", v)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	bi := ReadBuildInfo()
+	if bi.GoVersion == "" || bi.Version == "" {
+		t.Fatalf("incomplete build info: %+v", bi)
+	}
+	if s := (BuildInfo{Version: "v1", GoVersion: "go1.22"}).String(); s != "v1 go1.22" {
+		t.Fatalf("String() = %q", s)
+	}
+	if s := (BuildInfo{Version: "v1", Revision: "abc", GoVersion: "go1.22"}).String(); s != "v1 (abc) go1.22" {
+		t.Fatalf("String() = %q", s)
+	}
+}

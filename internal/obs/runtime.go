@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Sampler periodically publishes Go runtime health gauges — goroutine
+// count, heap bytes and objects, cumulative GC pause seconds and GC
+// cycles — plus an optional caller hook for process-specific gauges
+// (queue depth, worker utilisation). It samples once synchronously on
+// start so the first scrape after construction is already populated.
+type Sampler struct {
+	reg    *Registry
+	hook   func(*Registry)
+	stop   chan struct{}
+	done   chan struct{}
+	ticker *time.Ticker
+
+	goroutines *Gauge
+	heapAlloc  *Gauge
+	heapObj    *Gauge
+	gcPauses   *Gauge
+	gcCycles   *Gauge
+}
+
+// StartSampler launches the runtime sampler goroutine publishing into
+// reg every interval. hook, when non-nil, runs after each runtime sample
+// with the registry, letting the owner refresh its own sampled gauges on
+// the same cadence. Returns nil when reg is nil. Stop the sampler before
+// discarding it.
+func StartSampler(reg *Registry, interval time.Duration, hook func(*Registry)) *Sampler {
+	if reg == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	s := &Sampler{
+		reg:        reg,
+		hook:       hook,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		ticker:     time.NewTicker(interval),
+		goroutines: reg.Gauge("go_goroutines", "Number of live goroutines."),
+		heapAlloc:  reg.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects."),
+		heapObj:    reg.Gauge("go_heap_objects", "Number of allocated heap objects."),
+		gcPauses:   reg.Gauge("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause seconds."),
+		gcCycles:   reg.Gauge("go_gc_cycles_total", "Completed GC cycles."),
+	}
+	s.sample()
+	go s.loop()
+	return s
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.ticker.C:
+			s.sample()
+		}
+	}
+}
+
+// sample reads the runtime stats once and refreshes every gauge.
+func (s *Sampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.goroutines.Set(float64(runtime.NumGoroutine()))
+	s.heapAlloc.Set(float64(ms.HeapAlloc))
+	s.heapObj.Set(float64(ms.HeapObjects))
+	s.gcPauses.Set(float64(ms.PauseTotalNs) / 1e9)
+	s.gcCycles.Set(float64(ms.NumGC))
+	if s.hook != nil {
+		s.hook(s.reg)
+	}
+}
+
+// Stop halts the sampler and waits for its goroutine to exit. Nil-safe.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.ticker.Stop()
+	close(s.stop)
+	<-s.done
+}

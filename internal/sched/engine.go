@@ -63,6 +63,12 @@ type Config struct {
 	// scheduling decision point. It is runtime-only state and is not
 	// serialised by the config package.
 	Tracer trace.Tracer `json:"-"`
+	// Stats, when non-nil, receives the run's RunStats (atomically, once,
+	// at the end of Run), so concurrent runs of one campaign aggregate
+	// into a single job-level tally. Runtime-only, like Tracer. The
+	// engine's own per-run counters are always collected — they are plain
+	// single-threaded increments — and returned in Result.Stats.
+	Stats *Stats `json:"-"`
 }
 
 // DefaultConfig returns the engine defaults.
@@ -128,6 +134,8 @@ type Result struct {
 	// Failures and Restarts count injected processor failures and the
 	// task executions they aborted (each restarted elsewhere).
 	Failures, Restarts int
+	// Stats carries the engine's per-run instrumentation counters.
+	Stats RunStats
 	// Efficiency bundles derived energy indicators.
 	Efficiency energy.Efficiency
 
@@ -180,6 +188,10 @@ type Engine struct {
 	restarts    int
 	arrivalsEnd float64
 	finished    bool
+
+	// Per-run instrumentation tallies (see RunStats). Plain fields on the
+	// single-threaded event loop: incrementing them allocates nothing.
+	statTasks, statGroups, statSplits, statBacklogged uint64
 }
 
 // New builds an engine. The platform must validate; the workload must be
@@ -364,7 +376,16 @@ func (e *Engine) buildResult() Result {
 		Restarts:        e.restarts,
 		Efficiency:      energy.ComputeEfficiency(e.pl, end, e.completed),
 		Collector:       e.col,
+		Stats: RunStats{
+			Events:         e.sim.Fired(),
+			TasksScheduled: e.statTasks,
+			GroupsPlaced:   e.statGroups,
+			Splits:         e.statSplits,
+			Backlogged:     e.statBacklogged,
+			HeapHighWater:  uint64(e.sim.HeapHighWater()),
+		},
 	}
+	e.cfg.Stats.add(res.Stats)
 	return res
 }
 
@@ -518,6 +539,7 @@ func (e *Engine) place(ag *Agent, g *grouping.Group) {
 			e.emit(trace.LevelInfo, "backlog", trace.F("group", g.ID), trace.F("agent", ag.ID))
 		}
 		ag.backlog = append(ag.backlog, g)
+		e.statBacklogged++
 		return
 	}
 	node := e.policy.PlaceGroup(e.ctx, ag, g, candidates)
@@ -573,6 +595,7 @@ func (e *Engine) enqueue(ag *Agent, g *grouping.Group, node *platform.Node) {
 		e.invariantf("enqueue on full node %d", node.ID)
 	}
 	now := e.sim.Now()
+	e.statGroups++
 	g.NodeID = node.ID
 	g.EnqueuedAt = now
 	g.ErrTG = grouping.ErrTGFor(g.PW(), node.Capacity())
@@ -664,6 +687,7 @@ func (e *Engine) nextDispatchable(node *platform.Node) (*workload.Task, *groupin
 		return nil, nil
 	}
 	if t := q[1].NextUndispatched(); t != nil {
+		e.statSplits++
 		return t, q[1]
 	}
 	return nil, nil
@@ -695,6 +719,7 @@ func (e *Engine) idleProcs(node *platform.Node) []*platform.Processor {
 // advanced.
 func (e *Engine) startTask(node *platform.Node, proc *platform.Processor, g *grouping.Group, task *workload.Task, retry bool) {
 	now := e.sim.Now()
+	e.statTasks++
 	acct := e.touchAcct(node)
 	acct.busy++
 	acct.undispatched--

@@ -1,0 +1,79 @@
+package sched
+
+import "sync/atomic"
+
+// RunStats are the engine's cheap per-run instrumentation counters,
+// snapshotted into Result.Stats at the end of every run. The engine
+// maintains them as plain integer fields on its single-threaded event
+// loop, so collecting them costs an increment per decision — no atomics,
+// no allocations, no branches on the inner loop — and they are always on.
+type RunStats struct {
+	// Events is the total number of simulator events fired.
+	Events uint64 `json:"events"`
+	// TasksScheduled counts task executions started (retries after a
+	// processor failure included, so it can exceed the task count).
+	TasksScheduled uint64 `json:"tasks_scheduled"`
+	// GroupsPlaced counts merge groups closed and handed to placement.
+	GroupsPlaced uint64 `json:"groups_placed"`
+	// Splits counts tasks pulled forward out of a non-head group by the
+	// split process (§IV.D.2).
+	Splits uint64 `json:"splits"`
+	// Backlogged counts groups deferred because no candidate node had a
+	// free queue slot.
+	Backlogged uint64 `json:"backlogged"`
+	// HeapHighWater is the peak pending-event queue length.
+	HeapHighWater uint64 `json:"heap_high_water"`
+}
+
+// Stats aggregates RunStats across runs with atomic counters, so the
+// parallel campaign runner's worker goroutines can all fold their runs
+// into one job-level tally. Attach one via Config.Stats; the engine adds
+// its RunStats exactly once, at the end of Run. A nil *Stats is inert.
+type Stats struct {
+	events, tasksScheduled, groupsPlaced, splits, backlogged atomic.Uint64
+	heapHighWater                                            atomic.Uint64
+	runs                                                     atomic.Uint64
+}
+
+// add folds one run's counters in (HeapHighWater by maximum).
+func (s *Stats) add(r RunStats) {
+	if s == nil {
+		return
+	}
+	s.events.Add(r.Events)
+	s.tasksScheduled.Add(r.TasksScheduled)
+	s.groupsPlaced.Add(r.GroupsPlaced)
+	s.splits.Add(r.Splits)
+	s.backlogged.Add(r.Backlogged)
+	s.runs.Add(1)
+	for {
+		cur := s.heapHighWater.Load()
+		if r.HeapHighWater <= cur || s.heapHighWater.CompareAndSwap(cur, r.HeapHighWater) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the aggregate counters (HeapHighWater is the max over
+// runs, everything else a sum).
+func (s *Stats) Snapshot() RunStats {
+	if s == nil {
+		return RunStats{}
+	}
+	return RunStats{
+		Events:         s.events.Load(),
+		TasksScheduled: s.tasksScheduled.Load(),
+		GroupsPlaced:   s.groupsPlaced.Load(),
+		Splits:         s.splits.Load(),
+		Backlogged:     s.backlogged.Load(),
+		HeapHighWater:  s.heapHighWater.Load(),
+	}
+}
+
+// Runs returns how many engine runs have been folded in.
+func (s *Stats) Runs() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.runs.Load()
+}

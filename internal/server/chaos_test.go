@@ -141,7 +141,7 @@ func TestJobTimeout(t *testing.T) {
 		t.Fatalf("timeout error = %q", st.Error)
 	}
 
-	_, raw := getJSON(t, ts.URL+"/metrics")
+	_, raw := getJSON(t, ts.URL+"/metrics?format=json")
 	var vars map[string]float64
 	if err := json.Unmarshal(raw, &vars); err != nil {
 		t.Fatal(err)
@@ -183,7 +183,7 @@ func TestTransientFaultRetried(t *testing.T) {
 		t.Fatalf("faultInject called %d times, want 3", n)
 	}
 
-	_, raw := getJSON(t, ts.URL+"/metrics")
+	_, raw := getJSON(t, ts.URL+"/metrics?format=json")
 	var vars map[string]float64
 	if err := json.Unmarshal(raw, &vars); err != nil {
 		t.Fatal(err)

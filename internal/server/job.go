@@ -4,10 +4,12 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rlsched/internal/config"
 	"rlsched/internal/experiments"
 	"rlsched/internal/sched"
+	"rlsched/internal/trace"
 )
 
 // State is the lifecycle state of a job.
@@ -49,6 +51,28 @@ type JobStatus struct {
 	// exceeds 1 only when transient faults triggered retries.
 	Attempts int    `json:"attempts"`
 	Error    string `json:"error,omitempty"`
+	// Engine aggregates the engine's per-run instrumentation counters
+	// over every simulation point the job ran. Present once the job has
+	// settled; absent for restored jobs (the counters are runtime-only).
+	Engine *sched.RunStats `json:"engine,omitempty"`
+}
+
+// TraceEvent is the wire form of one retained trace event.
+type TraceEvent struct {
+	At     float64        `json:"at"`
+	Level  string         `json:"level"`
+	Kind   string         `json:"kind"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// TraceResponse is the payload of GET /v1/jobs/{id}/trace.
+type TraceResponse struct {
+	ID string `json:"id"`
+	// Total counts every event the job's engine runs emitted; Retained is
+	// how many the bounded ring kept (the most recent ones).
+	Total    uint64       `json:"total"`
+	Retained int          `json:"retained"`
+	Events   []TraceEvent `json:"events"`
 }
 
 // PointResult is the compact per-point summary returned for JobPoints
@@ -92,6 +116,12 @@ type job struct {
 	spec  config.JobSpec
 	total int
 	done  atomic.Int64 // points completed; written by Progress hooks
+	// acceptedAt feeds the queue-wait histogram; for restored jobs it is
+	// the restore time, which still measures real waiting.
+	acceptedAt time.Time
+	// ring retains the job's engine trace when the spec asked for one
+	// ("trace": true); nil otherwise, and an untraced job pays nothing.
+	ring *trace.Ring
 
 	mu        sync.Mutex
 	state     State
@@ -99,6 +129,7 @@ type job struct {
 	err       string
 	figures   []experiments.Figure
 	points    []PointResult
+	engine    *sched.RunStats    // aggregated engine counters, set at settle
 	cancel    context.CancelFunc // non-nil while running
 	cancelled bool               // cancellation requested
 	watchers  map[chan struct{}]struct{}
@@ -108,14 +139,19 @@ type job struct {
 }
 
 func newJob(id string, spec config.JobSpec, total int) *job {
-	return &job{
-		id:       id,
-		spec:     spec,
-		total:    total,
-		state:    StateQueued,
-		watchers: make(map[chan struct{}]struct{}),
-		doneCh:   make(chan struct{}),
+	j := &job{
+		id:         id,
+		spec:       spec,
+		total:      total,
+		acceptedAt: time.Now(),
+		state:      StateQueued,
+		watchers:   make(map[chan struct{}]struct{}),
+		doneCh:     make(chan struct{}),
 	}
+	if spec.Trace {
+		j.ring = trace.NewRing(traceCap, trace.LevelDebug)
+	}
+	return j
 }
 
 // status snapshots the job for the wire.
@@ -132,6 +168,7 @@ func (j *job) status() JobStatus {
 		PointsTotal: j.total,
 		Attempts:    j.attempts,
 		Error:       j.err,
+		Engine:      j.engine,
 	}
 }
 

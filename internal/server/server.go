@@ -2,9 +2,10 @@
 // simulation-as-a-service daemon: campaign jobs arrive over a JSON REST
 // API, flow through a bounded in-memory queue into a worker pool that
 // executes them via the experiments runner, and report progress through
-// polling endpoints, Server-Sent Events and expvar counters.
+// polling endpoints, Server-Sent Events and a Prometheus-style metrics
+// endpoint.
 //
-// API (all bodies JSON):
+// API (all bodies JSON unless noted):
 //
 //	POST   /v1/jobs             submit a config.JobSpec -> 202 + JobStatus
 //	GET    /v1/jobs             list all jobs (submission order)
@@ -12,8 +13,19 @@
 //	GET    /v1/jobs/{id}/result finished payload (409 until done)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events progress stream (SSE, ends at terminal)
+//	GET    /v1/jobs/{id}/trace  retained engine trace (404 unless the job
+//	                            was submitted with "trace": true)
 //	GET    /healthz             liveness
-//	GET    /metrics             expvar counters for this server
+//	GET    /metrics             Prometheus text exposition; ?format=json
+//	                            serves the legacy flat-JSON counter view
+//
+// Telemetry runs through internal/obs: every route is wrapped in HTTP
+// middleware (request counts, latency histograms, in-flight gauge,
+// request-id correlation), the job lifecycle records queue-wait and
+// run-duration histograms, the engine's per-run counters aggregate into
+// engine_* series, and a background sampler publishes Go runtime gauges.
+// With Options.Pprof the daemon additionally mounts net/http/pprof under
+// /debug/pprof/.
 //
 // Every job derives its randomness from its spec alone, so a job
 // submitted over HTTP returns bit-identical results to the same spec run
@@ -33,11 +45,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
 	"strconv"
 	"sync"
@@ -46,6 +59,8 @@ import (
 	"rlsched/internal/config"
 	"rlsched/internal/experiments"
 	"rlsched/internal/journal"
+	"rlsched/internal/obs"
+	"rlsched/internal/sched"
 )
 
 // ErrTransient marks an infrastructure fault — exhausted file handles, a
@@ -71,6 +86,14 @@ type Options struct {
 	// replays it so jobs interrupted by a crash re-run automatically.
 	// Empty keeps the daemon purely in-memory.
 	SpoolDir string
+	// Logger receives the daemon's structured logs (job lifecycle,
+	// per-request debug lines). Use obs.NewLogger to get request-id and
+	// job-id correlation from context. Nil discards everything.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the daemon mux.
+	// Off by default: profiling endpoints expose internals and cost
+	// memory, so they are opt-in.
+	Pprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -110,7 +133,14 @@ type Server struct {
 	durSum float64
 	durN   int
 
-	vars *expvar.Map
+	// reg is the server's metrics registry (rendered by /metrics); m holds
+	// the hot-path handles resolved once at construction. log discards
+	// when no Options.Logger was given. sampler publishes Go runtime
+	// gauges until Shutdown stops it.
+	reg     *obs.Registry
+	m       metrics
+	log     *slog.Logger
+	sampler *obs.Sampler
 
 	// keepAlive is the SSE keepalive interval: idle streams emit a
 	// comment line this often so proxies and clients can tell a quiet
@@ -132,17 +162,66 @@ type Server struct {
 	faultInject func(attempt int) error
 }
 
-// metric keys published on /metrics.
-const (
-	mQueued    = "jobs_queued"
-	mRunning   = "jobs_running"
-	mDone      = "jobs_done"
-	mFailed    = "jobs_failed"
-	mCancelled = "jobs_cancelled"
-	mTimeout   = "jobs_timeout"
-	mRetries   = "job_retries"
-	mPoints    = "points_completed"
-)
+// traceCap bounds the per-job trace ring: enough to hold the tail of a
+// campaign's scheduling decisions without letting a huge job balloon the
+// daemon's memory.
+const traceCap = 4096
+
+// metrics bundles the server's registry handles, resolved once at
+// construction so the hot paths never touch the registry's lookup lock.
+type metrics struct {
+	queued, running *obs.Gauge
+	settled         map[State]*obs.Counter
+	retries, points *obs.Counter
+	sse             *obs.Gauge
+	queueWait       *obs.Histogram
+	runSeconds      map[State]*obs.Histogram
+
+	engEvents, engTasks, engGroups *obs.Counter
+	engSplits, engBacklogged       *obs.Counter
+	engHeapHW                      *obs.Gauge
+}
+
+// terminalStates lists every job outcome, in rendering order.
+var terminalStates = []State{StateDone, StateFailed, StateCancelled, StateTimeout}
+
+func newMetrics(reg *obs.Registry) metrics {
+	m := metrics{
+		queued:        reg.Gauge("jobs_queued", "Jobs waiting in the queue."),
+		running:       reg.Gauge("jobs_running", "Jobs currently executing."),
+		settled:       make(map[State]*obs.Counter, len(terminalStates)),
+		retries:       reg.Counter("job_retries_total", "Transient-fault retries across all jobs."),
+		points:        reg.Counter("points_completed_total", "Simulation points completed across all jobs."),
+		sse:           reg.Gauge("sse_subscribers", "Open SSE progress streams."),
+		queueWait:     reg.Histogram("job_queue_wait_seconds", "Time from job acceptance to execution start.", obs.DefBuckets),
+		runSeconds:    make(map[State]*obs.Histogram, len(terminalStates)),
+		engEvents:     reg.Counter("engine_events_total", "Simulator events fired across all jobs."),
+		engTasks:      reg.Counter("engine_tasks_scheduled_total", "Task executions started across all jobs."),
+		engGroups:     reg.Counter("engine_groups_placed_total", "Merge groups placed across all jobs."),
+		engSplits:     reg.Counter("engine_splits_total", "Tasks pulled forward by the split process across all jobs."),
+		engBacklogged: reg.Counter("engine_backlogged_total", "Group placements deferred for lack of node queue slots."),
+		engHeapHW:     reg.Gauge("engine_heap_high_water", "Peak pending-event queue length over any single run."),
+	}
+	for _, st := range terminalStates {
+		m.settled[st] = reg.Counter("jobs_total", "Jobs settled, by terminal state.", obs.L("state", string(st)))
+		m.runSeconds[st] = reg.Histogram("job_run_seconds", "Wall-clock job runtime, by outcome.", obs.DefBuckets, obs.L("outcome", string(st)))
+	}
+	return m
+}
+
+// foldEngine adds one job's aggregated engine counters into the
+// server-wide series. Callers hold s.mu, which serialises the
+// read-compare-set on the high-water gauge.
+func (m *metrics) foldEngine(snap sched.RunStats) {
+	m.engEvents.Add(snap.Events)
+	m.engTasks.Add(snap.TasksScheduled)
+	m.engGroups.Add(snap.GroupsPlaced)
+	m.engSplits.Add(snap.Splits)
+	m.engBacklogged.Add(snap.Backlogged)
+	if hw := float64(snap.HeapHighWater); hw > m.engHeapHW.Value() {
+		m.engHeapHW.Set(hw)
+	}
+}
 
 // New starts a Server: its worker pool is live immediately. With
 // Options.SpoolDir set it first replays the journal — finished jobs come
@@ -151,13 +230,20 @@ const (
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	log := opts.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		opts:      opts,
 		mux:       http.NewServeMux(),
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		jobs:      make(map[string]*job),
-		vars:      new(expvar.Map).Init(),
+		reg:       reg,
+		m:         newMetrics(reg),
+		log:       log,
 		keepAlive: 15 * time.Second,
 		retryBase: time.Second,
 	}
@@ -190,22 +276,46 @@ func New(opts Options) (*Server, error) {
 	for _, j := range pending {
 		s.queue <- j
 	}
-	// Pre-create every counter so /metrics shows a complete set from the
-	// first scrape. The map is per-server (not expvar.Publish'd) so
-	// multiple servers — e.g. in tests — never collide in the global
-	// registry.
-	for _, k := range []string{mQueued, mRunning, mDone, mFailed, mCancelled, mTimeout, mRetries, mPoints} {
-		s.vars.Add(k, 0)
+	s.m.queued.Add(float64(len(pending)))
+	// Queue depth and worker utilisation are cheap to read, so they are
+	// refreshed at scrape time rather than on a timer — every scrape sees
+	// the current values.
+	s.reg.Gauge("queue_depth", "Jobs sitting in the bounded submission queue.")
+	s.reg.Gauge("worker_utilization", "Fraction of the worker pool that is busy.")
+	s.reg.OnScrape(func(reg *obs.Registry) {
+		reg.Gauge("queue_depth", "").Set(float64(len(s.queue)))
+		reg.Gauge("worker_utilization", "").Set(s.m.running.Value() / float64(opts.Jobs))
+	})
+	// The runtime sampler publishes go_* gauges; the synchronous first
+	// sample means even an immediate scrape sees them.
+	s.sampler = obs.StartSampler(s.reg, 0, nil)
+
+	// Every API route goes through the HTTP middleware: per-route request
+	// counters and latency histograms, an in-flight gauge and request-id
+	// correlation. The mux pattern doubles as the route label, keeping
+	// label cardinality bounded no matter what paths clients probe.
+	httpm := obs.NewHTTPMetrics(s.reg, s.log)
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, httpm.Handler(pattern, h))
 	}
-	s.vars.Add(mQueued, int64(len(pending)))
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	handle("POST /v1/jobs", s.handleSubmit)
+	handle("GET /v1/jobs", s.handleList)
+	handle("GET /v1/jobs/{id}", s.handleStatus)
+	handle("GET /v1/jobs/{id}/result", s.handleResult)
+	handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	handle("GET /v1/jobs/{id}/events", s.handleEvents)
+	handle("GET /v1/jobs/{id}/trace", s.handleTrace)
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /metrics", s.handleMetrics)
+	if opts.Pprof {
+		// Mounted raw: profile downloads should not skew the latency
+		// histograms they are used to investigate.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.wg.Add(opts.Jobs)
 	for i := 0; i < opts.Jobs; i++ {
 		go s.worker()
@@ -302,11 +412,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-drained
 	}
 	s.cancelAll() // release the base context in the graceful path too
+	s.sampler.Stop()
 	if s.jn != nil {
 		_ = s.jn.Close()
 	}
 	return err
 }
+
+// Registry exposes the server's metrics registry so the embedding
+// process can add its own series — rlsimd registers build_info on it.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // writeJSON writes v as a JSON response with the given status code.
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -393,7 +508,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
-	s.vars.Add(mQueued, 1)
+	s.m.queued.Add(1)
+	s.log.InfoContext(obs.WithJobID(r.Context(), j.id), "job accepted",
+		"kind", spec.Kind, "figure", spec.Figure, "points_total", total, "trace", spec.Trace)
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
@@ -466,8 +583,8 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.state = StateCancelled
 		close(j.doneCh)
 		j.mu.Unlock()
-		s.vars.Add(mQueued, -1)
-		s.vars.Add(mCancelled, 1)
+		s.m.queued.Add(-1)
+		s.m.settled[StateCancelled].Inc()
 		// A client's cancellation is a decision, not an accident: journal
 		// it so the job stays cancelled across restarts.
 		s.journalTerminal(j, StateCancelled, "", nil)
@@ -496,6 +613,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	s.m.sse.Add(1)
+	defer s.m.sse.Add(-1)
 	tick := j.watch()
 	defer j.unwatch(tick)
 	// The keepalive comment keeps idle proxies from reaping the stream
@@ -531,9 +650,55 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleMetrics serves the registry in Prometheus text exposition
+// format. The pre-registry flat-JSON counter view survives behind
+// ?format=json for scripts that scraped the old endpoint; json.Marshal
+// sorts map keys, so both formats render in stable order.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, s.vars.String())
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, map[string]int64{
+			"jobs_queued":      int64(s.m.queued.Value()),
+			"jobs_running":     int64(s.m.running.Value()),
+			"jobs_done":        int64(s.m.settled[StateDone].Value()),
+			"jobs_failed":      int64(s.m.settled[StateFailed].Value()),
+			"jobs_cancelled":   int64(s.m.settled[StateCancelled].Value()),
+			"jobs_timeout":     int64(s.m.settled[StateTimeout].Value()),
+			"job_retries":      int64(s.m.retries.Value()),
+			"points_completed": int64(s.m.points.Value()),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleTrace serves a traced job's retained engine events. Jobs
+// submitted without "trace": true have no ring — they paid no tracing
+// cost — so the endpoint 404s for them.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	if j.ring == nil {
+		writeError(w, http.StatusNotFound, "job %s was not submitted with trace enabled", j.id)
+		return
+	}
+	evs := j.ring.Events()
+	out := TraceResponse{
+		ID:       j.id,
+		Total:    j.ring.Total(),
+		Retained: len(evs),
+		Events:   make([]TraceEvent, len(evs)),
+	}
+	for i, e := range evs {
+		fields := make(map[string]any, len(e.Fields))
+		for _, f := range e.Fields {
+			fields[f.Key] = f.Value
+		}
+		out.Events[i] = TraceEvent{At: e.At, Level: e.Level.String(), Kind: e.Kind, Fields: fields}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // worker drains the queue until Shutdown closes it.
@@ -570,11 +735,12 @@ func (s *Server) safeRun(j *job) {
 		close(j.doneCh)
 		j.mu.Unlock()
 		if wasRunning {
-			s.vars.Add(mRunning, -1)
+			s.m.running.Add(-1)
 		} else {
-			s.vars.Add(mQueued, -1)
+			s.m.queued.Add(-1)
 		}
-		s.vars.Add(mFailed, 1)
+		s.m.settled[StateFailed].Inc()
+		s.log.ErrorContext(obs.WithJobID(context.Background(), j.id), "job panicked", "panic", fmt.Sprint(r))
 		s.journalTerminal(j, StateFailed, errMsg, nil)
 		j.notify()
 	}()
@@ -596,8 +762,8 @@ func (s *Server) runJob(j *job) {
 		wasClient := j.cancelled
 		close(j.doneCh)
 		j.mu.Unlock()
-		s.vars.Add(mQueued, -1)
-		s.vars.Add(mCancelled, 1)
+		s.m.queued.Add(-1)
+		s.m.settled[StateCancelled].Inc()
 		if wasClient {
 			s.journalTerminal(j, StateCancelled, "", nil)
 		}
@@ -617,19 +783,33 @@ func (s *Server) runJob(j *job) {
 	j.cancel = cancel
 	j.state = StateRunning
 	j.mu.Unlock()
-	s.vars.Add(mQueued, -1)
-	s.vars.Add(mRunning, 1)
+	s.m.queued.Add(-1)
+	s.m.running.Add(1)
+	s.m.queueWait.Observe(time.Since(j.acceptedAt).Seconds())
+	jctx := obs.WithJobID(context.Background(), j.id)
+	s.log.InfoContext(jctx, "job started",
+		"kind", j.spec.Kind, "queue_wait_sec", time.Since(j.acceptedAt).Seconds())
 	j.notify()
 
 	start := time.Now()
 	prof := j.spec.Profile
 	prof.Progress = func() {
 		j.done.Add(1)
-		s.vars.Add(mPoints, 1)
+		s.m.points.Inc()
 		j.notify()
 		if s.pointGate != nil {
 			s.pointGate()
 		}
+	}
+	// Campaign telemetry flows into the server's registry: point
+	// durations land in point_run_seconds and the engine folds each run's
+	// counters into the job-level aggregate snapshotted below.
+	prof.Metrics = s.reg
+	prof.Logger = s.log
+	engStats := new(sched.Stats)
+	prof.Engine.Stats = engStats
+	if j.ring != nil {
+		prof.Engine.Tracer = j.ring
 	}
 
 	var (
@@ -648,7 +828,8 @@ func (s *Server) runJob(j *job) {
 			attempt >= j.spec.MaxRetries || jobCtx.Err() != nil {
 			break
 		}
-		s.vars.Add(mRetries, 1)
+		s.m.retries.Inc()
+		s.log.WarnContext(jctx, "job retrying after transient fault", "attempt", attempt+1, "error", err.Error())
 		backoff := time.NewTimer(s.retryBase << attempt)
 		select {
 		case <-jobCtx.Done():
@@ -682,23 +863,20 @@ func (s *Server) runJob(j *job) {
 		j.state = StateFailed
 		j.err = err.Error()
 	}
-	state, errMsg := j.state, j.err
+	snap := engStats.Snapshot()
+	j.engine = &snap
+	state, errMsg, attempts := j.state, j.err, j.attempts
 	close(j.doneCh)
 	j.mu.Unlock()
-	s.vars.Add(mRunning, -1)
-	switch state {
-	case StateDone:
-		s.vars.Add(mDone, 1)
-	case StateFailed:
-		s.vars.Add(mFailed, 1)
-	case StateCancelled:
-		s.vars.Add(mCancelled, 1)
-	case StateTimeout:
-		s.vars.Add(mTimeout, 1)
-	}
+	s.m.running.Add(-1)
+	s.m.settled[state].Inc()
+	s.m.runSeconds[state].Observe(elapsed)
+	s.log.InfoContext(jctx, "job settled",
+		"state", string(state), "seconds", elapsed, "attempts", attempts, "error", errMsg)
 	s.mu.Lock()
 	s.durSum += elapsed
 	s.durN++
+	s.m.foldEngine(snap)
 	s.mu.Unlock()
 	if journalIt {
 		s.journalTerminal(j, state, errMsg, termResult)

@@ -480,7 +480,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 	waitState(t, ts, m["id"].(string), StateDone)
 
-	code, raw := getJSON(t, ts.URL+"/metrics")
+	code, raw := getJSON(t, ts.URL+"/metrics?format=json")
 	if code != http.StatusOK {
 		t.Fatalf("metrics: HTTP %d", code)
 	}

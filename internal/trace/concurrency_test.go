@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRingConcurrentEmitSnapshot hammers one ring from several emitters
+// while readers continuously take snapshots. Run under -race this guards
+// the daemon's per-job trace capture, where campaign workers share a ring
+// that the HTTP handler snapshots mid-flight.
+func TestRingConcurrentEmitSnapshot(t *testing.T) {
+	const (
+		emitters = 4
+		perEmit  = 2000
+	)
+	r := NewRing(64, LevelDebug)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perEmit; i++ {
+				r.Emit(Event{At: float64(i), Level: LevelInfo, Kind: "k", Fields: []Field{F("g", g)}})
+			}
+		}(g)
+	}
+	var readers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := r.Events()
+				if len(evs) > 64 {
+					t.Errorf("snapshot exceeds capacity: %d", len(evs))
+					return
+				}
+				_ = r.Len()
+				_ = r.Total()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got, want := r.Total(), uint64(emitters*perEmit); got != want {
+		t.Fatalf("Total() = %d, want %d", got, want)
+	}
+	if r.Len() != 64 {
+		t.Fatalf("Len() = %d, want full ring of 64", r.Len())
+	}
+}
+
+// TestTimelineConcurrentEmitSnapshot pairs dispatch/finish emitters with
+// concurrent Intervals/Validate/Dropped readers. Each goroutine owns a
+// disjoint set of processor IDs so pairing stays meaningful; the point is
+// that the shared maps and slices survive the interleaving under -race.
+func TestTimelineConcurrentEmitSnapshot(t *testing.T) {
+	const (
+		emitters = 4
+		pairs    = 1500
+	)
+	tl := NewTimeline()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(proc int) {
+			defer wg.Done()
+			for i := 0; i < pairs; i++ {
+				at := float64(i * 2)
+				tl.Emit(Event{At: at, Kind: "dispatch", Fields: []Field{
+					F("proc", proc), F("task", i), F("group", i),
+				}})
+				tl.Emit(Event{At: at + 1, Kind: "finish", Fields: []Field{
+					F("proc", proc), F("task", i),
+				}})
+			}
+		}(g)
+	}
+	var readers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = tl.Intervals()
+				_ = tl.Dropped()
+				if err := tl.Validate(); err != nil {
+					t.Errorf("mid-flight Validate: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tl.Intervals()), emitters*pairs; got != want {
+		t.Fatalf("intervals = %d, want %d (dropped %d)", got, want, tl.Dropped())
+	}
+	if tl.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", tl.Dropped())
+	}
+}

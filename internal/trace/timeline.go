@@ -6,13 +6,18 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // Timeline is a tracer that reconstructs per-processor execution intervals
 // (a Gantt chart) from the engine's dispatch/finish events. Attach it via
 // the engine config's Tracer and export the schedule with WriteCSV for
-// visualisation in any plotting tool.
+// visualisation in any plotting tool. Like Ring it is safe for
+// concurrent emit and snapshot, though pairing dispatch/finish events
+// across processors only makes sense when each engine run feeds its own
+// timeline or runs are serialised.
 type Timeline struct {
+	mu        sync.Mutex
 	open      map[int]openExec // by processor ID
 	intervals []Interval
 	dropped   int
@@ -55,6 +60,8 @@ func fieldInt(e Event, key string) (int, bool) {
 
 // Emit implements Tracer.
 func (t *Timeline) Emit(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	switch e.Kind {
 	case "dispatch":
 		proc, ok1 := fieldInt(e, "proc")
@@ -93,7 +100,9 @@ func (t *Timeline) Emit(e Event) {
 
 // Intervals returns the completed executions sorted by (processor, start).
 func (t *Timeline) Intervals() []Interval {
+	t.mu.Lock()
 	out := append([]Interval(nil), t.intervals...)
+	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Processor != out[j].Processor {
 			return out[i].Processor < out[j].Processor
@@ -104,7 +113,11 @@ func (t *Timeline) Intervals() []Interval {
 }
 
 // Dropped counts events the timeline could not pair.
-func (t *Timeline) Dropped() int { return t.dropped }
+func (t *Timeline) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
 
 // WriteCSV exports the Gantt data: processor,task,group,start,end.
 func (t *Timeline) WriteCSV(w io.Writer) error {

@@ -14,6 +14,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Level grades event importance.
@@ -83,9 +84,15 @@ type Tracer interface {
 }
 
 // Ring is a bounded in-memory tracer retaining the most recent events.
+// It is safe for concurrent use: a campaign's parallel workers may share
+// one ring across simulation points while a snapshot is being served
+// (the daemon's per-job trace capture does exactly that). Single-run
+// callers pay one uncontended lock per emitted event.
 type Ring struct {
-	min   Level
-	cap   int
+	min Level
+	cap int
+
+	mu    sync.Mutex
 	buf   []Event
 	start int
 	total uint64
@@ -105,26 +112,40 @@ func (r *Ring) Emit(e Event) {
 	if e.Level < r.min {
 		return
 	}
+	r.mu.Lock()
 	r.total++
 	if len(r.buf) < r.cap {
 		r.buf = append(r.buf, e)
-		return
+	} else {
+		r.buf[r.start] = e
+		r.start = (r.start + 1) % r.cap
 	}
-	r.buf[r.start] = e
-	r.start = (r.start + 1) % r.cap
+	r.mu.Unlock()
 }
 
 // Enabled implements Tracer.
 func (r *Ring) Enabled(l Level) bool { return l >= r.min }
 
 // Len returns the number of retained events.
-func (r *Ring) Len() int { return len(r.buf) }
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
 
 // Total returns the number of events ever emitted at or above the level.
-func (r *Ring) Total() uint64 { return r.total }
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
 
-// Events returns retained events oldest-first.
+// Events returns a snapshot of the retained events oldest-first. The
+// snapshot is consistent: emits racing with it land entirely before or
+// entirely after.
 func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]Event, 0, len(r.buf))
 	for i := 0; i < len(r.buf); i++ {
 		out = append(out, r.buf[(r.start+i)%len(r.buf)])
