@@ -9,6 +9,7 @@ import (
 	"rlsched/internal/core"
 	"rlsched/internal/experiments"
 	"rlsched/internal/platform"
+	"rlsched/internal/probe"
 	"rlsched/internal/report"
 	"rlsched/internal/rng"
 	"rlsched/internal/sched"
@@ -317,3 +318,48 @@ func FigureByIDContext(ctx context.Context, p Profile, id string) (Figure, error
 func AllFiguresContext(ctx context.Context, p Profile) ([]Figure, error) {
 	return experiments.AllCtx(ctx, p)
 }
+
+// Simulation-state probes: in-sim time-series telemetry sampled on the
+// DES clock. Attach a ProbeRecorder via EngineConfig.Probe (single run)
+// or Profile.ProbeFor (one recorder per campaign point), then Snapshot
+// or export the recorded series.
+type (
+	// ProbeConfig selects sampling cadence, retention bound and series
+	// families for a ProbeRecorder.
+	ProbeConfig = probe.Config
+	// ProbeRecorder samples registered simulation series at a sim-time
+	// cadence with bounded memory.
+	ProbeRecorder = probe.Recorder
+	// ProbePoint is one sample: simulated time and value.
+	ProbePoint = probe.Point
+	// ProbeSeries is one named series with its recorded points.
+	ProbeSeries = probe.Series
+	// ProbeRunSeries groups the series of one simulation point under its
+	// campaign index and label.
+	ProbeRunSeries = probe.RunSeries
+	// JobSeriesSpec is the "series" block of a daemon JobSpec.
+	JobSeriesSpec = config.SeriesSpec
+	// HTMLReport builds a self-contained single-file HTML run report
+	// with inline SVG charts (no scripts, no external references).
+	HTMLReport = report.HTMLReport
+)
+
+// NewProbeRecorder builds a recorder; the zero ProbeConfig selects the
+// default cadence, retention and all series families.
+func NewProbeRecorder(cfg ProbeConfig) *ProbeRecorder { return probe.NewRecorder(cfg) }
+
+// WriteSeriesCSV exports recorded run series as long-form CSV — the
+// exact bytes GET /v1/jobs/{id}/series?format=csv serves.
+func WriteSeriesCSV(w io.Writer, runs []ProbeRunSeries) error {
+	return probe.WriteSeriesCSV(w, runs)
+}
+
+// ReadSeriesCSV parses the CSV written by WriteSeriesCSV.
+func ReadSeriesCSV(r io.Reader) ([]ProbeRunSeries, error) { return probe.ReadSeriesCSV(r) }
+
+// PointLabel is the canonical human-readable label of a simulation
+// point, shared by the CLI exports and the daemon's series endpoints.
+func PointLabel(s RunSpec) string { return experiments.PointLabel(s) }
+
+// NewHTMLReport starts an empty self-contained HTML report.
+func NewHTMLReport(title string) *HTMLReport { return report.NewHTMLReport(title) }

@@ -1,0 +1,271 @@
+// Command benchcmp compares current benchmark timings against the
+// committed BENCH_*.json baselines and prints a warning table for
+// regressions beyond a threshold.
+//
+// Usage:
+//
+//	benchcmp [-base BENCH_a.json,BENCH_b.json] [-input bench.out]
+//	         [-threshold 0.20] [-benchtime 3x] [-strict]
+//
+// With no -input it runs `go test -bench` itself over the module for
+// every baselined benchmark name. Regressions warn but exit 0 unless
+// -strict is set, so a noisy laptop run never blocks a commit; CI reads
+// the table from the step summary instead ($GITHUB_STEP_SUMMARY, when
+// set, receives a markdown copy).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// benchRecord mirrors one entry in a BENCH_*.json "benchmarks" map. The
+// before field is a pointer because first-appearance benchmarks commit
+// `"before": null`.
+type benchRecord struct {
+	Before *benchSample `json:"before"`
+	After  *benchSample `json:"after"`
+}
+
+type benchSample struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// baseline is one benchmark's committed expectation and its provenance.
+type baseline struct {
+	name    string
+	nsPerOp float64
+	source  string
+}
+
+// row is one comparison outcome.
+type row struct {
+	baseline
+	current float64
+	delta   float64 // (current-baseline)/baseline
+}
+
+// run is the testable body of main; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseList := fs.String("base", "", "comma-separated baseline JSON files (default: BENCH_*.json in the working directory)")
+	input := fs.String("input", "", "read `go test -bench` output from this file instead of running benchmarks")
+	threshold := fs.Float64("threshold", 0.20, "relative ns/op slowdown that counts as a regression")
+	benchtime := fs.String("benchtime", "3x", "-benchtime passed to go test when running benchmarks")
+	strict := fs.Bool("strict", false, "exit non-zero when a regression is found")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var files []string
+	if *baseList != "" {
+		files = strings.Split(*baseList, ",")
+	} else {
+		var err error
+		files, err = filepath.Glob("BENCH_*.json")
+		if err != nil || len(files) == 0 {
+			fmt.Fprintln(stderr, "benchcmp: no BENCH_*.json baselines found")
+			return 2
+		}
+	}
+	baselines, err := loadBaselines(files)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchcmp:", err)
+		return 2
+	}
+
+	var current map[string]float64
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchcmp:", err)
+			return 2
+		}
+		current, err = parseBenchOutput(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "benchcmp:", err)
+			return 2
+		}
+	} else {
+		current, err = runBenchmarks(baselines, *benchtime, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchcmp:", err)
+			return 2
+		}
+	}
+
+	rows, missing := compare(baselines, current)
+	table := renderTable(rows, *threshold)
+	fmt.Fprint(stdout, table)
+	for _, name := range missing {
+		fmt.Fprintf(stdout, "benchcmp: no current measurement for %s\n", name)
+	}
+	regressions := 0
+	for _, r := range rows {
+		if r.delta > *threshold {
+			regressions++
+		}
+	}
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		if err := appendStepSummary(path, rows, *threshold); err != nil {
+			fmt.Fprintln(stderr, "benchcmp:", err)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "benchcmp: %d benchmark(s) regressed more than %.0f%% vs committed baselines\n",
+			regressions, *threshold*100)
+		if *strict {
+			return 1
+		}
+		fmt.Fprintln(stdout, "benchcmp: warning only (pass -strict to fail); single-run timings are noisy")
+	}
+	return 0
+}
+
+// loadBaselines reads every file and keeps, per benchmark name, the
+// slowest committed "after" figure: baselines from different PRs were
+// measured on different container generations, and comparing against the
+// most lenient committed claim avoids false alarms from machine drift.
+func loadBaselines(files []string) (map[string]baseline, error) {
+	out := make(map[string]baseline)
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var doc struct {
+			Benchmarks map[string]benchRecord `json:"benchmarks"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for name, rec := range doc.Benchmarks {
+			if rec.After == nil || rec.After.NsPerOp <= 0 {
+				continue
+			}
+			if prev, ok := out[name]; !ok || rec.After.NsPerOp > prev.nsPerOp {
+				out[name] = baseline{name: name, nsPerOp: rec.After.NsPerOp, source: filepath.Base(path)}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no usable benchmarks in %s", strings.Join(files, ", "))
+	}
+	return out, nil
+}
+
+// benchLine matches `BenchmarkName-8  3  123456 ns/op ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBenchOutput extracts ns/op per benchmark from `go test -bench`
+// text output. Repeated runs of one benchmark keep the last figure.
+func parseBenchOutput(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		out[m[1]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return out, nil
+}
+
+// runBenchmarks runs only the baselined benchmarks across the module.
+func runBenchmarks(baselines map[string]baseline, benchtime string, stderr io.Writer) (map[string]float64, error) {
+	names := make([]string, 0, len(baselines))
+	for name := range baselines {
+		names = append(names, "^"+name+"$")
+	}
+	sort.Strings(names)
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", strings.Join(names, "|"), "-benchtime", benchtime, "./...")
+	cmd.Stderr = stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	return parseBenchOutput(strings.NewReader(string(out)))
+}
+
+// compare joins baselines with current measurements, sorted by name.
+func compare(baselines map[string]baseline, current map[string]float64) ([]row, []string) {
+	var rows []row
+	var missing []string
+	for name, b := range baselines {
+		cur, ok := current[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		rows = append(rows, row{baseline: b, current: cur, delta: (cur - b.nsPerOp) / b.nsPerOp})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	sort.Strings(missing)
+	return rows, missing
+}
+
+// renderTable prints the aligned comparison table.
+func renderTable(rows []row, threshold float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %14s %8s  %s\n", "benchmark", "baseline ns/op", "current ns/op", "delta", "baseline from")
+	for _, r := range rows {
+		flag := ""
+		if r.delta > threshold {
+			flag = "  REGRESSION"
+		}
+		fmt.Fprintf(&b, "%-28s %14.0f %14.0f %+7.1f%%  %s%s\n",
+			r.name, r.nsPerOp, r.current, r.delta*100, r.source, flag)
+	}
+	return b.String()
+}
+
+// appendStepSummary appends a markdown copy of the table for the GitHub
+// Actions job summary.
+func appendStepSummary(path string, rows []row, threshold float64) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "### Benchmark comparison (threshold %.0f%%)\n\n", threshold*100)
+	fmt.Fprintln(f, "| benchmark | baseline ns/op | current ns/op | delta | status |")
+	fmt.Fprintln(f, "|---|---:|---:|---:|---|")
+	for _, r := range rows {
+		status := "ok"
+		if r.delta > threshold {
+			status = "⚠️ regression"
+		}
+		fmt.Fprintf(f, "| %s | %.0f | %.0f | %+.1f%% | %s |\n",
+			r.name, r.nsPerOp, r.current, r.delta*100, status)
+	}
+	fmt.Fprintln(f)
+	return nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testBaseline = `{
+  "benchmarks": {
+    "BenchmarkFast": {"before": null, "after": {"ns_per_op": 1000}},
+    "BenchmarkSlow": {"before": {"ns_per_op": 900}, "after": {"ns_per_op": 2000}},
+    "BenchmarkNoAfter": {"before": {"ns_per_op": 5}}
+  }
+}`
+
+// secondBaseline re-records BenchmarkFast slower; the loader must keep
+// the most lenient committed figure per name.
+const secondBaseline = `{"benchmarks": {"BenchmarkFast": {"after": {"ns_per_op": 1500}}}}`
+
+const benchOutput = `goos: linux
+goarch: amd64
+BenchmarkFast-4     	1000	      1100 ns/op	  64 B/op	 2 allocs/op
+BenchmarkSlow-4     	 500	      2600 ns/op
+PASS
+ok  	example	1.2s
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWarnsOnRegression(t *testing.T) {
+	base := writeTemp(t, "BENCH_a.json", testBaseline)
+	in := writeTemp(t, "bench.out", benchOutput)
+	t.Setenv("GITHUB_STEP_SUMMARY", "")
+	var out, errOut strings.Builder
+	code := run([]string{"-base", base, "-input", in}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (warnings are non-fatal): stderr=%q", code, errOut.String())
+	}
+	got := out.String()
+	// +10% on Fast is under threshold; +30% on Slow is a regression.
+	if !strings.Contains(got, "BenchmarkSlow") || !strings.Contains(got, "REGRESSION") {
+		t.Fatalf("missing regression row:\n%s", got)
+	}
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "BenchmarkFast") && strings.Contains(line, "REGRESSION") {
+			t.Fatalf("BenchmarkFast flagged despite being under threshold:\n%s", got)
+		}
+	}
+	if !strings.Contains(got, "no current measurement for BenchmarkNoAfter") {
+		// BenchmarkNoAfter has no "after" record, so it must not be
+		// baselined at all — not reported as missing.
+		if strings.Contains(got, "BenchmarkNoAfter") {
+			t.Fatalf("null-after benchmark leaked into output:\n%s", got)
+		}
+	}
+}
+
+func TestStrictFailsOnRegression(t *testing.T) {
+	base := writeTemp(t, "BENCH_a.json", testBaseline)
+	in := writeTemp(t, "bench.out", benchOutput)
+	var out, errOut strings.Builder
+	if code := run([]string{"-base", base, "-input", in, "-strict"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1 under -strict", code)
+	}
+	// A loose threshold clears the table even under -strict.
+	if code := run([]string{"-base", base, "-input", in, "-strict", "-threshold", "0.5"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0 with 50%% threshold", code)
+	}
+}
+
+func TestMostLenientBaselineWins(t *testing.T) {
+	a := writeTemp(t, "BENCH_a.json", testBaseline)
+	b := writeTemp(t, "BENCH_b.json", secondBaseline)
+	in := writeTemp(t, "bench.out", "BenchmarkFast-4 10 1600 ns/op\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-base", a + "," + b, "-input", in}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errOut.String())
+	}
+	// 1600 vs the lenient 1500 baseline is +6.7%, not +60%.
+	if strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("regression flagged against the stricter baseline:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BENCH_b.json") {
+		t.Fatalf("winning baseline provenance missing:\n%s", out.String())
+	}
+}
+
+func TestStepSummaryMarkdown(t *testing.T) {
+	base := writeTemp(t, "BENCH_a.json", testBaseline)
+	in := writeTemp(t, "bench.out", benchOutput)
+	summary := filepath.Join(t.TempDir(), "summary.md")
+	t.Setenv("GITHUB_STEP_SUMMARY", summary)
+	var out, errOut strings.Builder
+	if code := run([]string{"-base", base, "-input", in}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errOut.String())
+	}
+	md, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"### Benchmark comparison", "| BenchmarkSlow |", "regression", "| BenchmarkFast |", "| ok |"} {
+		if !strings.Contains(string(md), want) {
+			t.Fatalf("step summary missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestParseBenchOutputRejectsEmpty(t *testing.T) {
+	if _, err := parseBenchOutput(strings.NewReader("PASS\nok  x 0.1s\n")); err == nil {
+		t.Fatal("want error for output with no benchmark lines")
+	}
+}
+
+func TestMissingMeasurementReported(t *testing.T) {
+	base := writeTemp(t, "BENCH_a.json", testBaseline)
+	in := writeTemp(t, "bench.out", "BenchmarkFast-4 10 1000 ns/op\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-base", base, "-input", in}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "no current measurement for BenchmarkSlow") {
+		t.Fatalf("missing-benchmark note absent:\n%s", out.String())
+	}
+}

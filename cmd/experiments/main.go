@@ -41,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	md := fs.Bool("md", false, "print as a markdown table instead of aligned text")
 	ablations := fs.Bool("ablations", false, "run the design-choice ablation table instead of figures")
 	outDir := fs.String("out", "", "directory to write one CSV per figure")
+	reportPath := fs.String("report", "", "write every regenerated figure into one self-contained HTML report")
 	configPath := fs.String("config", "", "profile JSON (default: built-in profile)")
 	workers := fs.Int("workers", 0, "simulation points run concurrently (0 = one per CPU, 1 = serial)")
 	version := fs.Bool("version", false, "print build information and exit")
@@ -97,6 +98,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		ids = []string{*figID}
 	}
+	var htmlRep *report.HTMLReport
+	if *reportPath != "" {
+		htmlRep = report.NewHTMLReport("rlsched evaluation figures")
+		htmlRep.AddKeyValues("Profile", [][2]string{
+			{"replications", fmt.Sprintf("%d", profile.Replications)},
+			{"observation period", fmt.Sprintf("%g t units", profile.ObservationPeriod)},
+			{"size scale", fmt.Sprintf("%g", profile.SizeScale)},
+			{"seed", fmt.Sprintf("%d", profile.Seed)},
+		})
+	}
 	for _, id := range ids {
 		start := time.Now()
 		fig, err := experiments.FigureByID(profile, id)
@@ -130,7 +141,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stdout, "(wrote %s)\n", path)
 		}
+		if htmlRep != nil {
+			htmlRep.AddFigure(fig)
+		}
 		fmt.Fprintf(stdout, "(%s regenerated in %v)\n\n", fig.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if htmlRep != nil {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := htmlRep.Render(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "(wrote %s)\n", *reportPath)
 	}
 	return 0
 }

@@ -65,3 +65,34 @@ func TestVersionFlag(t *testing.T) {
 		t.Fatalf("version output: %q", out.String())
 	}
 }
+
+// TestRunHTMLReport regenerates one small figure into the single-file
+// HTML report and checks the output is self-contained.
+func TestRunHTMLReport(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "tiny.json")
+	cfg := `{"profile": {"Replications": 1, "ObservationPeriod": 300, "LightTasks": 30, "HeavyTasks": 50, "Workers": 2}}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	htmlPath := filepath.Join(dir, "figs.html")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-fig", "10", "-config", cfgPath, "-report", htmlPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr=%q", code, errOut.String())
+	}
+	data, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"<svg", "<style>", "FIGURE10"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	for _, banned := range []string{"<script", "http://", "https://", "src="} {
+		if strings.Contains(s, banned) {
+			t.Fatalf("report contains %q — not self-contained", banned)
+		}
+	}
+}

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	rlsim [-policy adaptive-rl] [-n 1000] [-cv 0] [-seed 1]
-//	      [-config profile.json]
+//	      [-config profile.json] [-series-csv series.csv]
+//	      [-report run.html]
 package main
 
 import (
@@ -12,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"sync"
 
 	"rlsched"
 	"rlsched/internal/obs"
@@ -34,6 +37,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dumpTasks := fs.String("dump-tasks", "", "write per-task records CSV to this file")
 	dumpGroups := fs.String("dump-groups", "", "write per-group records CSV to this file")
 	dumpGantt := fs.String("dump-gantt", "", "write the per-processor schedule (Gantt CSV) to this file")
+	seriesCSV := fs.String("series-csv", "", "record in-sim time series and write them as CSV to this file")
+	reportPath := fs.String("report", "", "write a self-contained HTML run report to this file")
+	seriesCadence := fs.Float64("series-cadence", 0, "sim-time sampling interval for -series-csv/-report (0 = default)")
+	seriesMax := fs.Int("series-max", 0, "retained points per series before downsampling (0 = default)")
 	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,6 +64,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *dumpGantt != "" {
 		timeline = rlsched.NewTimeline()
 		profile.Engine.Tracer = timeline
+	}
+
+	// Either series output attaches a probe recorder through the
+	// campaign hook, exported under the point's canonical label — the
+	// same label the daemon's series endpoint uses.
+	type probedRun struct {
+		index int
+		label string
+		rec   *rlsched.ProbeRecorder
+	}
+	var (
+		probedMu sync.Mutex
+		probed   []probedRun
+	)
+	if *seriesCSV != "" || *reportPath != "" {
+		probeCfg := rlsched.ProbeConfig{Cadence: *seriesCadence, MaxPoints: *seriesMax}
+		profile.ProbeFor = func(i int, spec rlsched.RunSpec) *rlsched.ProbeRecorder {
+			rec := rlsched.NewProbeRecorder(probeCfg)
+			probedMu.Lock()
+			probed = append(probed, probedRun{index: i, label: rlsched.PointLabel(spec), rec: rec})
+			probedMu.Unlock()
+			return rec
+		}
 	}
 
 	res, err := rlsched.Run(profile, rlsched.RunSpec{
@@ -119,5 +149,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout)
 	}
+
+	if *seriesCSV != "" || *reportPath != "" {
+		// Same canonical order as the daemon's series endpoint: by label,
+		// then campaign index.
+		sort.Slice(probed, func(i, j int) bool {
+			if probed[i].label != probed[j].label {
+				return probed[i].label < probed[j].label
+			}
+			return probed[i].index < probed[j].index
+		})
+		runs := make([]rlsched.ProbeRunSeries, len(probed))
+		for i, pr := range probed {
+			series, _ := pr.rec.Snapshot()
+			runs[i] = rlsched.ProbeRunSeries{Index: pr.index, Label: pr.label, Series: series}
+		}
+		if *seriesCSV != "" {
+			if err := writeFile(*seriesCSV, func(w io.Writer) error {
+				return rlsched.WriteSeriesCSV(w, runs)
+			}); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *seriesCSV)
+		}
+		if *reportPath != "" {
+			rep := rlsched.NewHTMLReport(fmt.Sprintf("rlsim run: %s", *policy))
+			rep.AddKeyValues("Run summary", [][2]string{
+				{"policy", res.Policy},
+				{"tasks", fmt.Sprintf("%d submitted, %d completed", res.Submitted, res.Completed)},
+				{"avg response time", fmt.Sprintf("%.2f t units", res.AveRT)},
+				{"energy (ECS)", fmt.Sprintf("%.3f million W·t", res.ECS/1e6)},
+				{"successful rate", fmt.Sprintf("%.3f", res.SuccessRate)},
+				{"utilisation", fmt.Sprintf("%.3f", res.MeanUtilization)},
+				{"makespan", fmt.Sprintf("%.1f t units", res.EndTime)},
+			})
+			for _, rs := range runs {
+				rep.AddRunSeries(rs)
+			}
+			if err := writeFile(*reportPath, rep.Render); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *reportPath)
+		}
+	}
 	return 0
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

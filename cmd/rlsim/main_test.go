@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"rlsched"
 )
 
 func TestRunBadFlag(t *testing.T) {
@@ -63,5 +65,65 @@ func TestVersionFlag(t *testing.T) {
 	}
 	if !strings.HasPrefix(out.String(), "rlsim ") || !strings.Contains(out.String(), "go1") {
 		t.Fatalf("version output: %q", out.String())
+	}
+}
+
+func TestRunSeriesCSVAndReport(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "series.csv")
+	htmlPath := filepath.Join(dir, "run.html")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-policy", "greedy", "-n", "20", "-seed", "3",
+		"-series-csv", csvPath, "-report", htmlPath, "-series-cadence", "10"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr=%q", code, errOut.String())
+	}
+
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := rlsched.ReadSeriesCSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("series CSV unparseable: %v", err)
+	}
+	if len(runs) == 0 || len(runs[0].Series) == 0 {
+		t.Fatalf("series CSV empty: %+v", runs)
+	}
+	if !strings.Contains(runs[0].Label, "greedy n=20") {
+		t.Fatalf("run label = %q", runs[0].Label)
+	}
+
+	html, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(html)
+	if !strings.Contains(s, "<svg") || !strings.Contains(s, "<style>") {
+		t.Fatal("HTML report missing inline chart or stylesheet")
+	}
+	for _, banned := range []string{"<script", "http://", "https://", "src="} {
+		if strings.Contains(s, banned) {
+			t.Fatalf("HTML report contains %q — not self-contained", banned)
+		}
+	}
+}
+
+// TestRunSeriesDoesNotChangeSummary pins the zero-interference contract
+// at the CLI level: the human-readable summary of a probed run is
+// character-identical to an unprobed one.
+func TestRunSeriesDoesNotChangeSummary(t *testing.T) {
+	var plain, probed, errOut bytes.Buffer
+	if code := run([]string{"-policy", "greedy", "-n", "20", "-seed", "3"}, &plain, &errOut); code != 0 {
+		t.Fatalf("plain run failed: %q", errOut.String())
+	}
+	csvPath := filepath.Join(t.TempDir(), "series.csv")
+	if code := run([]string{"-policy", "greedy", "-n", "20", "-seed", "3", "-series-csv", csvPath}, &probed, &errOut); code != 0 {
+		t.Fatalf("probed run failed: %q", errOut.String())
+	}
+	probedOut := strings.Replace(probed.String(), "wrote "+csvPath+"\n", "", 1)
+	if plain.String() != probedOut {
+		t.Fatalf("probing changed the run summary:\nplain:\n%s\nprobed:\n%s", plain.String(), probedOut)
 	}
 }

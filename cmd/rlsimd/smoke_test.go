@@ -106,6 +106,23 @@ func TestPprofFlag(t *testing.T) {
 	}
 }
 
+// TestPprofDisabled pins the default-off contract: without -pprof the
+// profiling mux must not be reachable on the daemon port.
+func TestPprofDisabled(t *testing.T) {
+	addr, stop := bootDaemon(t)
+	defer stop()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s without -pprof: HTTP %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
 func TestVersionFlag(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run(context.Background(), []string{"-version"}, &out, &errOut); code != 0 {

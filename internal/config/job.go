@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"rlsched/internal/experiments"
+	"rlsched/internal/probe"
 )
 
 // Job kinds accepted by JobSpec.Kind.
@@ -50,9 +51,58 @@ type JobSpec struct {
 	// /v1/jobs/{id}/trace. Off by default: an untraced job pays no
 	// tracing cost at all (the endpoint then returns 404).
 	Trace bool `json:"trace,omitempty"`
+	// Series, when present, records simulation-domain time series for
+	// every point the job runs; they are served by GET
+	// /v1/jobs/{id}/series (and streamed live by .../series/stream).
+	// Absent by default: an unprobed job pays no sampling cost at all
+	// (the endpoints then return 404).
+	Series *SeriesSpec `json:"series,omitempty"`
 	// Profile holds every experiment knob; omitted fields keep the
 	// default profile's values, exactly like File.Profile.
 	Profile experiments.Profile `json:"profile"`
+}
+
+// SeriesSpec configures simulation-state probes for a job: how often to
+// sample, how many points to retain per series, and which series
+// families to record. The zero value selects the probe package's
+// defaults and all families.
+type SeriesSpec struct {
+	// Cadence is the sim-time interval between samples; 0 selects the
+	// probe default.
+	Cadence float64 `json:"cadence,omitempty"`
+	// MaxPoints bounds retained points per series before merge-adjacent
+	// downsampling; 0 selects the probe default.
+	MaxPoints int `json:"max_points,omitempty"`
+	// Select lists the series families to record (see probe.Families);
+	// empty records all of them.
+	Select []string `json:"select,omitempty"`
+}
+
+// ProbeConfig translates the spec into the probe package's config.
+func (s *SeriesSpec) ProbeConfig() probe.Config {
+	if s == nil {
+		return probe.Config{}
+	}
+	return probe.Config{Cadence: s.Cadence, MaxPoints: s.MaxPoints, Series: s.Select}
+}
+
+// validate rejects malformed series blocks.
+func (s *SeriesSpec) validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.Cadence < 0 {
+		return fmt.Errorf("config: series cadence must be >= 0, got %g", s.Cadence)
+	}
+	if s.MaxPoints < 0 {
+		return fmt.Errorf("config: series max_points must be >= 0, got %d", s.MaxPoints)
+	}
+	for _, f := range s.Select {
+		if !probe.ValidFamily(f) {
+			return fmt.Errorf("config: unknown series family %q (want one of %v)", f, probe.Families)
+		}
+	}
+	return nil
 }
 
 // defaultJobSpec is the decode base: omitted profile fields keep their
@@ -73,6 +123,9 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	}
 	if s.MaxRetries < 0 {
 		return JobSpec{}, fmt.Errorf("config: max_retries must be >= 0, got %d", s.MaxRetries)
+	}
+	if err := s.Series.validate(); err != nil {
+		return JobSpec{}, err
 	}
 	switch s.Kind {
 	case JobFigure:

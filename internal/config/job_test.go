@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"rlsched/internal/experiments"
+	"rlsched/internal/probe"
 )
 
 func validFigureJob() JobSpec {
@@ -192,5 +193,55 @@ func TestJobMarshalIsHumanReadable(t *testing.T) {
 	// Runtime-only hooks must never leak into the schema.
 	if strings.Contains(s, "Progress") || strings.Contains(s, "Tracer") {
 		t.Fatal("runtime-only field serialised")
+	}
+}
+
+func TestJobSeriesRoundTrip(t *testing.T) {
+	s := validFigureJob()
+	s.Series = &SeriesSpec{Cadence: 10, MaxPoints: 64, Select: []string{probe.FamilyQueue, probe.FamilyPower}}
+	data, err := MarshalJob(s)
+	if err != nil {
+		t.Fatalf("MarshalJob: %v", err)
+	}
+	got, err := UnmarshalJob(data)
+	if err != nil {
+		t.Fatalf("UnmarshalJob: %v", err)
+	}
+	if got.Series == nil || got.Series.Cadence != 10 || got.Series.MaxPoints != 64 ||
+		len(got.Series.Select) != 2 {
+		t.Fatalf("round trip lost series block: %+v", got.Series)
+	}
+	cfg := got.Series.ProbeConfig()
+	if cfg.Cadence != 10 || cfg.MaxPoints != 64 || len(cfg.Series) != 2 {
+		t.Fatalf("ProbeConfig mismatch: %+v", cfg)
+	}
+	// A job without the block stays without it — and its probe config is
+	// the zero value.
+	if zc := (*SeriesSpec)(nil).ProbeConfig(); zc.Cadence != 0 || zc.MaxPoints != 0 || zc.Series != nil {
+		t.Fatalf("nil SeriesSpec should map to zero probe config, got %+v", zc)
+	}
+}
+
+func TestJobSeriesValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		series SeriesSpec
+	}{
+		{"negative cadence", SeriesSpec{Cadence: -1}},
+		{"negative max_points", SeriesSpec{MaxPoints: -5}},
+		{"unknown family", SeriesSpec{Select: []string{"vibes"}}},
+	}
+	for _, tc := range cases {
+		s := validFigureJob()
+		s.Series = &tc.series
+		if _, err := s.Normalize(); err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, tc.series)
+		}
+	}
+	// An empty block is valid: defaults + all families.
+	s := validFigureJob()
+	s.Series = &SeriesSpec{}
+	if _, err := s.Normalize(); err != nil {
+		t.Fatalf("empty series block rejected: %v", err)
 	}
 }

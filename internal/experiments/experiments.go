@@ -29,6 +29,7 @@ import (
 	"rlsched/internal/core"
 	"rlsched/internal/obs"
 	"rlsched/internal/platform"
+	"rlsched/internal/probe"
 	"rlsched/internal/rng"
 	"rlsched/internal/sched"
 	"rlsched/internal/workload"
@@ -128,6 +129,15 @@ type Profile struct {
 	// SlowPointSec is the slow-point warning threshold in seconds; 0 (the
 	// default) disables the warnings.
 	SlowPointSec float64
+	// ProbeFor, when non-nil, supplies a per-point probe recorder:
+	// RunManyCtx (and everything built on it — figures, sweeps, the
+	// daemon) calls it once per simulation point with the point's index
+	// in the expanded spec list and its spec, and attaches the returned
+	// recorder to that point's engine. Return nil to leave a point
+	// unprobed. It is called from worker goroutines concurrently.
+	// Runtime-only, like Progress: a nil hook costs nothing and sampling
+	// never affects results.
+	ProbeFor func(index int, spec RunSpec) *probe.Recorder `json:"-"`
 }
 
 // DefaultProfile returns the tuned defaults used for every figure.
@@ -189,6 +199,14 @@ type RunSpec struct {
 	HeterogeneityCV float64
 	// Seed for this replication.
 	Seed uint64
+}
+
+// PointLabel renders the canonical human-readable identity of one
+// simulation point. The daemon's series endpoints and the CLIs' series
+// exports all label recorded runs with it, so the same point carries
+// the same label everywhere.
+func PointLabel(s RunSpec) string {
+	return fmt.Sprintf("%s n=%d cv=%g seed=%d", s.Policy, s.NumTasks, s.HeterogeneityCV, s.Seed)
 }
 
 // Build constructs the platform and workload for one simulation point
@@ -271,6 +289,12 @@ func runScenario(p Profile, spec RunSpec, policy sched.Policy, gen workloadGen) 
 	pl, tasks, r, err := buildScenario(p, spec, gen)
 	if err != nil {
 		return sched.Result{}, err
+	}
+	// The campaign runner resolves ProbeFor per point (it knows the
+	// index); a direct single-point Run resolves it here as point 0. The
+	// nil-Probe guard keeps the two paths from double-invoking the hook.
+	if p.ProbeFor != nil && p.Engine.Probe == nil {
+		p.Engine.Probe = p.ProbeFor(0, spec)
 	}
 	eng, err := sched.New(p.Engine, pl, tasks, policy, r.Split("engine"))
 	if err != nil {

@@ -169,7 +169,14 @@ func RunManyCtx(ctx context.Context, p Profile, specs []RunSpec) ([]sched.Result
 		if timed {
 			start = time.Now()
 		}
-		res, err := Run(p, specs[i])
+		pp := p
+		if pp.ProbeFor != nil {
+			// Attach the point's probe recorder on a per-point copy of
+			// the profile, so concurrent workers never share an Engine
+			// config.
+			pp.Engine.Probe = pp.ProbeFor(i, specs[i])
+		}
+		res, err := Run(pp, specs[i])
 		if timed {
 			el := time.Since(start).Seconds()
 			pointHist.Observe(el)

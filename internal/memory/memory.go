@@ -113,6 +113,10 @@ type Shared struct {
 	capacity int
 	perAgent map[int][]Experience
 	total    uint64
+	// lookups/hits count Best/BestFor calls and how many found an
+	// experience — the shared-memory hit rate probes report.
+	lookups uint64
+	hits    uint64
 }
 
 // NewShared creates a memory with the paper's per-agent capacity.
@@ -179,6 +183,10 @@ func (m *Shared) Best() (Experience, bool) {
 			}
 		}
 	}
+	m.lookups++
+	if found {
+		m.hits++
+	}
 	return best, found
 }
 
@@ -195,6 +203,10 @@ func (m *Shared) BestFor(s State) (Experience, bool) {
 				best, bestV, found = e, v, true
 			}
 		}
+	}
+	m.lookups++
+	if found {
+		m.hits++
 	}
 	return best, found
 }
@@ -222,4 +234,49 @@ func (m *Shared) MeanLVal() float64 {
 		return 0
 	}
 	return sum / float64(n)
+}
+
+// meanField averages one Experience field over retained experiences,
+// skipping non-finite values (an unmeasurable turnaround estimate
+// records an infinite error) so the mean stays representable in JSON.
+func (m *Shared) meanField(get func(Experience) float64) float64 {
+	sum, n := 0.0, 0
+	for _, ring := range m.perAgent {
+		for _, e := range ring {
+			v := get(e)
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				continue
+			}
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanReward returns the average reward over retained experiences
+// (0 when empty) — the learning-progress signal probes sample.
+func (m *Shared) MeanReward() float64 {
+	return m.meanField(func(e Experience) float64 { return e.Reward })
+}
+
+// MeanError returns the average turnaround-estimate error over retained
+// experiences (0 when empty).
+func (m *Shared) MeanError() float64 {
+	return m.meanField(func(e Experience) float64 { return e.Error })
+}
+
+// Lookups returns the lifetime Best/BestFor call count.
+func (m *Shared) Lookups() uint64 { return m.lookups }
+
+// HitRate returns the fraction of Best/BestFor lookups that found an
+// experience (0 before the first lookup).
+func (m *Shared) HitRate() float64 {
+	if m.lookups == 0 {
+		return 0
+	}
+	return float64(m.hits) / float64(m.lookups)
 }

@@ -252,3 +252,53 @@ func BenchmarkRecordAndBest(b *testing.B) {
 		}
 	}
 }
+
+func TestLookupCounters(t *testing.T) {
+	m := NewShared()
+	if m.Lookups() != 0 || m.HitRate() != 0 {
+		t.Fatal("fresh memory should report zero lookups and hit rate")
+	}
+	m.Best()           // miss: empty
+	m.BestFor(State{}) // miss: empty
+	m.Record(exp(1, 0, 5, 1))
+	m.Best()           // hit
+	m.BestFor(State{}) // hit
+	if m.Lookups() != 4 {
+		t.Fatalf("Lookups = %d, want 4", m.Lookups())
+	}
+	if got := m.HitRate(); got != 0.5 {
+		t.Fatalf("HitRate = %g, want 0.5", got)
+	}
+}
+
+func TestMeanRewardAndError(t *testing.T) {
+	m := NewShared()
+	if m.MeanReward() != 0 || m.MeanError() != 0 {
+		t.Fatal("empty memory means should be 0")
+	}
+	m.Record(exp(1, 0, 2, 1))
+	m.Record(exp(1, 1, 4, 3))
+	if got := m.MeanReward(); got != 3 {
+		t.Fatalf("MeanReward = %g, want 3", got)
+	}
+	if got := m.MeanError(); got != 2 {
+		t.Fatalf("MeanError = %g, want 2", got)
+	}
+}
+
+// TestMeanSkipsNonFinite pins the probe-facing contract: a null-error
+// experience stores Error = +Inf (see LVal), and the mean must stay
+// finite — and JSON-marshalable — regardless.
+func TestMeanSkipsNonFinite(t *testing.T) {
+	m := NewShared()
+	m.Record(exp(1, 0, 2, math.Inf(1)))
+	m.Record(exp(1, 1, 4, 6))
+	if got := m.MeanError(); got != 6 {
+		t.Fatalf("MeanError = %g, want 6 (the +Inf experience skipped)", got)
+	}
+	m2 := NewShared()
+	m2.Record(exp(1, 0, 1, math.Inf(1)))
+	if got := m2.MeanError(); got != 0 || math.IsInf(got, 0) {
+		t.Fatalf("all-Inf MeanError = %g, want finite 0", got)
+	}
+}

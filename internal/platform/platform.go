@@ -200,6 +200,19 @@ func (p *Processor) FailedTime() float64 { return p.failedTime }
 // PP_j = p_max·Σ ET_i + p_min·t_idle (+ p_sleep·t_sleep).
 func (p *Processor) Energy() float64 { return p.energy }
 
+// EnergyAt projects the cumulative energy to time now without folding
+// the interval into the accounting: the integration breakpoints — and
+// with them every future Energy() rounding — stay exactly as they were.
+// Observers (probes) use this so that reading energy mid-run cannot
+// perturb the final ECS by even an ulp.
+func (p *Processor) EnergyAt(now float64) float64 {
+	dt := now - p.lastChange
+	if dt <= 0 {
+		return p.energy
+	}
+	return p.energy + p.InstantPower()*dt
+}
+
 // Utilization returns busy time as a fraction of total elapsed time as of
 // the last Advance (zero before any time passes).
 func (p *Processor) Utilization() float64 {
@@ -341,6 +354,25 @@ func (pl *Platform) TotalEnergy() float64 {
 	sum := 0.0
 	for _, n := range pl.nodes {
 		sum += n.Energy()
+	}
+	return sum
+}
+
+// TotalEnergyAt is the read-only projection of TotalEnergy to time now:
+// the same sum with each processor's in-flight interval added virtually
+// (see Processor.EnergyAt). Unlike AdvanceAll+TotalEnergy it leaves the
+// accounting untouched.
+func (pl *Platform) TotalEnergyAt(now float64) float64 {
+	sum := 0.0
+	for _, n := range pl.nodes {
+		if len(n.Processors) == 0 {
+			continue
+		}
+		s := 0.0
+		for _, p := range n.Processors {
+			s += p.EnergyAt(now)
+		}
+		sum += s / float64(len(n.Processors))
 	}
 	return sum
 }

@@ -1,0 +1,253 @@
+// Package probe records simulation-domain time series while a run is in
+// flight. Where internal/obs watches the host process (goroutines, HTTP
+// latency, job counters), probe watches the *simulated world*: per-site
+// queue depth, instantaneous power draw, the RL agents' reward and error
+// signals — each sampled on the DES clock at a fixed sim-time cadence.
+//
+// A Recorder is attached to one engine run via sched.Config.Probe. The
+// engine registers closures for every series family the recorder wants
+// and calls Start, which schedules a recurring DES event; each firing
+// reads all registered closures at the same simulated instant. Sampling
+// is read-only with respect to simulation outcomes: a probed run
+// produces byte-identical results to an unprobed one (only the DES
+// event count differs), and a nil Recorder costs nothing at all.
+//
+// Memory stays O(MaxPoints) per series regardless of run length: when a
+// series fills, adjacent points are merged pairwise (mean value, later
+// timestamp) and the sampling stride doubles, so resolution degrades
+// gracefully instead of memory growing. Every such rewrite bumps the
+// recorder's epoch, which live consumers (the daemon's SSE stream) use
+// to detect that previously shipped points were rewritten.
+package probe
+
+import (
+	"sync"
+
+	"rlsched/internal/des"
+)
+
+// Series families a Recorder can sample. A Config selects a subset;
+// engines ask Enabled before building the (potentially costly) closure.
+const (
+	// FamilyQueue samples per-site scheduler queue depth and agent
+	// backlog, in task groups.
+	FamilyQueue = "queue"
+	// FamilyUtil samples the fraction of each site's processors that
+	// are busy.
+	FamilyUtil = "util"
+	// FamilyPower samples platform-wide instantaneous power draw in
+	// watts, including sleeping and waking nodes.
+	FamilyPower = "power"
+	// FamilyEnergy samples cumulative platform energy since t=0.
+	FamilyEnergy = "energy"
+	// FamilyRL samples the learning signals: mean reward, mean
+	// turnaround-estimate error and shared-memory hit rate.
+	FamilyRL = "rl"
+	// FamilyGroup samples the mean task-group size placed so far.
+	FamilyGroup = "group"
+)
+
+// Families lists every valid series family in canonical order.
+var Families = []string{FamilyQueue, FamilyUtil, FamilyPower, FamilyEnergy, FamilyRL, FamilyGroup}
+
+// ValidFamily reports whether name is a known series family.
+func ValidFamily(name string) bool {
+	for _, f := range Families {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Defaults used when a Config leaves Cadence or MaxPoints zero.
+const (
+	// DefaultCadence is the sampling interval in simulated time units.
+	// At the paper's observation period (1000 units) this yields 40
+	// raw samples per run before any downsampling.
+	DefaultCadence = 25.0
+	// DefaultMaxPoints bounds retained points per series.
+	DefaultMaxPoints = 512
+)
+
+// minPoints is the floor MaxPoints is clamped to; below this the
+// merge-adjacent reservoir would degrade to uselessness.
+const minPoints = 8
+
+// Config selects what a Recorder samples and how much it retains.
+type Config struct {
+	// Cadence is the sim-time interval between samples (0 = default).
+	Cadence float64
+	// MaxPoints bounds retained points per series (0 = default). It is
+	// clamped to an even value of at least 8 so the merge-adjacent
+	// downsampler halves cleanly.
+	MaxPoints int
+	// Series selects the families to record; empty selects all.
+	Series []string
+}
+
+// withDefaults resolves zero fields and clamps MaxPoints.
+func (c Config) withDefaults() Config {
+	if c.Cadence <= 0 {
+		c.Cadence = DefaultCadence
+	}
+	if c.MaxPoints <= 0 {
+		c.MaxPoints = DefaultMaxPoints
+	}
+	if c.MaxPoints < minPoints {
+		c.MaxPoints = minPoints
+	}
+	c.MaxPoints &^= 1
+	return c
+}
+
+// recSeries is the internal state of one registered series: its
+// identity, sampling closure and the bounded point reservoir.
+type recSeries struct {
+	name   string
+	family string
+	unit   string
+	fn     func() float64
+
+	points []Point
+	// stride is how many raw samples fold into one retained point; it
+	// starts at 1 and doubles every time the reservoir halves.
+	stride int
+	// accT/accV/accN accumulate the in-progress stride: last sample
+	// time, value sum and sample count.
+	accT float64
+	accV float64
+	accN int
+}
+
+// Recorder samples registered series on the DES clock. The zero value
+// is not usable; call NewRecorder. All methods are safe for concurrent
+// use — the engine samples from the event loop while the daemon
+// snapshots from HTTP handlers.
+type Recorder struct {
+	cfg  Config
+	want map[string]bool // nil = all families
+
+	mu     sync.Mutex
+	series []*recSeries
+	epoch  uint64
+	stop   func()
+}
+
+// NewRecorder builds a Recorder for the given config. Unknown families
+// in cfg.Series are ignored (config validation rejects them upstream).
+func NewRecorder(cfg Config) *Recorder {
+	r := &Recorder{cfg: cfg.withDefaults()}
+	if len(cfg.Series) > 0 {
+		r.want = make(map[string]bool, len(cfg.Series))
+		for _, f := range cfg.Series {
+			r.want[f] = true
+		}
+	}
+	return r
+}
+
+// Enabled reports whether the recorder wants series of this family.
+// Engines use it to skip building closures nobody will read.
+func (r *Recorder) Enabled(family string) bool {
+	if r == nil {
+		return false
+	}
+	return r.want == nil || r.want[family]
+}
+
+// Register adds a named series sampled by fn at each cadence tick. It
+// is a no-op when the family is not enabled. Registration order is the
+// canonical series order in snapshots and exports.
+func (r *Recorder) Register(family, name, unit string, fn func() float64) {
+	if !r.Enabled(family) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.series = append(r.series, &recSeries{name: name, family: family, unit: unit, fn: fn, stride: 1})
+}
+
+// Start takes an immediate sample and schedules the recurring sampling
+// event on sim. The engine stops the simulator when the run completes,
+// which retires the recurring event; Stop exists for callers that want
+// to cease sampling earlier.
+func (r *Recorder) Start(sim *des.Simulator) {
+	r.SampleNow(sim.Now())
+	stop := sim.Every(r.cfg.Cadence, func(s *des.Simulator) {
+		r.SampleNow(s.Now())
+	})
+	r.mu.Lock()
+	r.stop = stop
+	r.mu.Unlock()
+}
+
+// Stop cancels the recurring sampling event, if any.
+func (r *Recorder) Stop() {
+	r.mu.Lock()
+	stop := r.stop
+	r.stop = nil
+	r.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+}
+
+// SampleNow reads every registered series at simulated time t. The
+// engine calls it once at run end (in addition to the cadence ticks) so
+// the final simulated instant is always represented.
+func (r *Recorder) SampleNow(t float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.series {
+		s.accT = t
+		s.accV += s.fn()
+		s.accN++
+		if s.accN < s.stride {
+			continue
+		}
+		s.points = append(s.points, Point{T: s.accT, V: s.accV / float64(s.accN)})
+		s.accT, s.accV, s.accN = 0, 0, 0
+		if len(s.points) >= r.cfg.MaxPoints {
+			r.downsampleLocked(s)
+		}
+	}
+}
+
+// downsampleLocked merges adjacent point pairs: each surviving point
+// takes the later timestamp and the mean value, the stride doubles so
+// future samples accumulate at the new resolution, and the epoch bumps
+// so streaming consumers know history was rewritten.
+func (r *Recorder) downsampleLocked(s *recSeries) {
+	half := len(s.points) / 2
+	for i := 0; i < half; i++ {
+		a, b := s.points[2*i], s.points[2*i+1]
+		s.points[i] = Point{T: b.T, V: (a.V + b.V) / 2}
+	}
+	s.points = s.points[:half]
+	s.stride *= 2
+	r.epoch++
+}
+
+// Snapshot returns a deep copy of every recorded series plus the
+// current downsample epoch (captured atomically with the points). An
+// in-progress stride accumulation is included as a provisional trailing
+// point so live consumers see the newest sample without waiting a full
+// stride.
+func (r *Recorder) Snapshot() ([]Series, uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Series, len(r.series))
+	for i, s := range r.series {
+		pts := make([]Point, len(s.points), len(s.points)+1)
+		copy(pts, s.points)
+		if s.accN > 0 {
+			pts = append(pts, Point{T: s.accT, V: s.accV / float64(s.accN)})
+		}
+		out[i] = Series{Name: s.name, Family: s.family, Unit: s.unit, Points: pts}
+	}
+	return out, r.epoch
+}

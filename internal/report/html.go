@@ -1,0 +1,365 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+
+	"rlsched/internal/experiments"
+	"rlsched/internal/probe"
+)
+
+// HTMLReport assembles a self-contained single-file HTML run report:
+// inline SVG line charts, an inline stylesheet, no scripts and no
+// external references of any kind, so the file can be mailed, attached
+// to a CI run or opened from disk years later and still render. Build
+// one with NewHTMLReport, add sections, then Render it once.
+type HTMLReport struct {
+	title    string
+	sections []string
+}
+
+// NewHTMLReport starts an empty report with the given document title.
+func NewHTMLReport(title string) *HTMLReport {
+	return &HTMLReport{title: title}
+}
+
+// AddKeyValues appends a heading plus a two-column key/value table —
+// run parameters, summary metrics.
+func (h *HTMLReport) AddKeyValues(heading string, rows [][2]string) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<section>\n<h2>%s</h2>\n<table class=\"kv\">\n", html.EscapeString(heading))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "<tr><th scope=\"row\">%s</th><td>%s</td></tr>\n",
+			html.EscapeString(r[0]), html.EscapeString(r[1]))
+	}
+	b.WriteString("</table>\n</section>\n")
+	h.sections = append(h.sections, b.String())
+}
+
+// AddFigure appends one evaluation figure as a line chart, one line per
+// series.
+func (h *HTMLReport) AddFigure(fig experiments.Figure) {
+	lines := make([]chartLine, len(fig.Series))
+	for i, s := range fig.Series {
+		lines[i] = chartLine{label: s.Label, xs: s.X, ys: s.Y}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<section>\n<h2>%s — %s</h2>\n",
+		html.EscapeString(strings.ToUpper(fig.ID)), html.EscapeString(fig.Title))
+	if fig.Expected != "" {
+		fmt.Fprintf(&b, "<p class=\"note\">expected shape: %s</p>\n", html.EscapeString(fig.Expected))
+	}
+	b.WriteString(renderChart(fig.XLabel, fig.YLabel, lines))
+	b.WriteString("</section>\n")
+	h.sections = append(h.sections, b.String())
+}
+
+// AddRunSeries appends one recorded run's probe series, grouped into one
+// chart per metric: per-site series like "site0.queue_depth" share a
+// "queue_depth" chart with one line per site, single series get a chart
+// of their own.
+func (h *HTMLReport) AddRunSeries(rs probe.RunSeries) {
+	type group struct {
+		metric string
+		unit   string
+		lines  []chartLine
+	}
+	var groups []*group
+	byMetric := make(map[string]*group)
+	for _, s := range rs.Series {
+		metric, line := s.Name, s.Name
+		if i := strings.IndexByte(s.Name, '.'); i >= 0 {
+			metric, line = s.Name[i+1:], s.Name[:i]
+		}
+		g := byMetric[metric]
+		if g == nil {
+			g = &group{metric: metric, unit: s.Unit}
+			byMetric[metric] = g
+			groups = append(groups, g)
+		}
+		xs := make([]float64, len(s.Points))
+		ys := make([]float64, len(s.Points))
+		for i, p := range s.Points {
+			xs[i], ys[i] = p.T, p.V
+		}
+		g.lines = append(g.lines, chartLine{label: line, xs: xs, ys: ys})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<section>\n<h2>%s</h2>\n", html.EscapeString(rs.Label))
+	for _, g := range groups {
+		yLabel := g.metric
+		if g.unit != "" {
+			yLabel = fmt.Sprintf("%s (%s)", g.metric, g.unit)
+		}
+		fmt.Fprintf(&b, "<h3>%s</h3>\n", html.EscapeString(g.metric))
+		b.WriteString(renderChart("simulated time", yLabel, g.lines))
+	}
+	b.WriteString("</section>\n")
+	h.sections = append(h.sections, b.String())
+}
+
+// chartLine is one line of a chart: a label and matching x/y vectors.
+type chartLine struct {
+	label  string
+	xs, ys []float64
+}
+
+// Chart geometry. One fixed size keeps every chart in a report visually
+// comparable.
+const (
+	chartW   = 720
+	chartH   = 320
+	padLeft  = 56
+	padRight = 14
+	padTop   = 14
+	padBot   = 40
+)
+
+// maxChartSeries caps lines per chart: the categorical palette has
+// eight validated slots assigned in fixed order, never cycled. Extra
+// series are dropped from the plot (the data table keeps them) with a
+// visible note.
+const maxChartSeries = 8
+
+// renderChart renders one line chart: inline SVG plus an HTML legend
+// (for two or more series) and a collapsible data table, the chart's
+// non-visual reading.
+func renderChart(xLabel, yLabel string, lines []chartLine) string {
+	var b strings.Builder
+	plotted := lines
+	if len(plotted) > maxChartSeries {
+		plotted = plotted[:maxChartSeries]
+	}
+	xmin, xmax := bounds(plotted, func(l chartLine) []float64 { return l.xs })
+	ymin, ymax := bounds(plotted, func(l chartLine) []float64 { return l.ys })
+	xticks := niceTicks(xmin, xmax, 6)
+	yticks := niceTicks(ymin, ymax, 5)
+	// Snap the plot window to the tick range so gridlines span it fully.
+	if len(xticks) > 0 {
+		xmin, xmax = math.Min(xmin, xticks[0]), math.Max(xmax, xticks[len(xticks)-1])
+	}
+	if len(yticks) > 0 {
+		ymin, ymax = math.Min(ymin, yticks[0]), math.Max(ymax, yticks[len(yticks)-1])
+	}
+	sx := func(x float64) float64 {
+		return padLeft + (x-xmin)/(xmax-xmin)*(chartW-padLeft-padRight)
+	}
+	sy := func(y float64) float64 {
+		return chartH - padBot - (y-ymin)/(ymax-ymin)*(chartH-padTop-padBot)
+	}
+
+	fmt.Fprintf(&b, "<figure class=\"viz-root\">\n<svg viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" role=\"img\">\n",
+		chartW, chartH, chartW, chartH)
+	// Horizontal hairline grid, one per y tick; the baseline is the axis.
+	for _, t := range yticks {
+		y := sy(t)
+		fmt.Fprintf(&b, "<line class=\"grid\" x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\"/>\n",
+			padLeft, y, chartW-padRight, y)
+		fmt.Fprintf(&b, "<text class=\"tick\" x=\"%d\" y=\"%.1f\" text-anchor=\"end\" dominant-baseline=\"middle\">%s</text>\n",
+			padLeft-6, y, trimFloat(t))
+	}
+	fmt.Fprintf(&b, "<line class=\"axis\" x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\"/>\n",
+		padLeft, sy(ymin), chartW-padRight, sy(ymin))
+	for _, t := range xticks {
+		x := sx(t)
+		fmt.Fprintf(&b, "<text class=\"tick\" x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">%s</text>\n",
+			x, chartH-padBot+16, trimFloat(t))
+	}
+	fmt.Fprintf(&b, "<text class=\"label\" x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">%s</text>\n",
+		float64(padLeft+(chartW-padLeft-padRight)/2), chartH-6, html.EscapeString(xLabel))
+	fmt.Fprintf(&b, "<text class=\"label\" transform=\"rotate(-90)\" x=\"%.1f\" y=\"12\" text-anchor=\"middle\">%s</text>\n",
+		-float64(padTop+(chartH-padTop-padBot)/2), html.EscapeString(yLabel))
+
+	for i, l := range plotted {
+		slot := i%maxChartSeries + 1
+		var pts strings.Builder
+		for k := range l.xs {
+			if k > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", sx(l.xs[k]), sy(l.ys[k]))
+		}
+		fmt.Fprintf(&b, "<polyline class=\"line s%d\" points=\"%s\"/>\n", slot, pts.String())
+		// Point markers carry native <title> tooltips — the hover layer
+		// without a script dependency.
+		for k := range l.xs {
+			fmt.Fprintf(&b, "<circle class=\"dot s%d\" cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\"><title>%s: (%s, %s)</title></circle>\n",
+				slot, sx(l.xs[k]), sy(l.ys[k]),
+				html.EscapeString(l.label), trimFloat(l.xs[k]), trimFloat(l.ys[k]))
+		}
+	}
+	b.WriteString("</svg>\n")
+
+	if len(plotted) >= 2 {
+		b.WriteString("<div class=\"legend\">\n")
+		for i, l := range plotted {
+			fmt.Fprintf(&b, "<span class=\"key\"><span class=\"swatch s%d\"></span>%s</span>\n",
+				i%maxChartSeries+1, html.EscapeString(l.label))
+		}
+		b.WriteString("</div>\n")
+	}
+	if len(lines) > maxChartSeries {
+		fmt.Fprintf(&b, "<p class=\"note\">%d of %d series plotted; the data table below carries all of them.</p>\n",
+			maxChartSeries, len(lines))
+	}
+
+	// The table view: every chart's data, readable without color or
+	// vision at all.
+	b.WriteString("<details><summary>Data table</summary>\n<table class=\"data\">\n")
+	fmt.Fprintf(&b, "<tr><th>series</th><th>%s</th><th>%s</th></tr>\n",
+		html.EscapeString(xLabel), html.EscapeString(yLabel))
+	for _, l := range lines {
+		for k := range l.xs {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				html.EscapeString(l.label), trimFloat(l.xs[k]), trimFloat(l.ys[k]))
+		}
+	}
+	b.WriteString("</table>\n</details>\n</figure>\n")
+	return b.String()
+}
+
+// bounds computes the min/max of one coordinate over every line,
+// widening degenerate (empty or constant) ranges so scales stay finite.
+func bounds(lines []chartLine, get func(chartLine) []float64) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, l := range lines {
+		for _, v := range get(l) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	if lo > hi {
+		return 0, 1
+	}
+	if lo == hi {
+		return lo - 0.5, hi + 0.5
+	}
+	return lo, hi
+}
+
+// niceTicks places about n round-numbered ticks across [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	span := hi - lo
+	if span <= 0 || n < 1 {
+		return nil
+	}
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	step := 10 * mag
+	for _, m := range []float64{1, 2, 5} {
+		if raw <= m*mag {
+			step = m * mag
+			break
+		}
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/1e6; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Render writes the complete document. The stylesheet defines the
+// report's palette as CSS custom properties in both light and dark
+// steps — dark mode is selected via the OS preference and a data-theme
+// toggle scope, not derived — and everything lives inline: the output
+// has no external references.
+func (h *HTMLReport) Render(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(h.title))
+	b.WriteString("<style>\n" + reportCSS + "</style>\n</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(h.title))
+	for _, s := range h.sections {
+		b.WriteString(s)
+	}
+	b.WriteString("</body>\n</html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// reportCSS is the report's entire stylesheet. The palette values are
+// the repo's validated reference palette: eight categorical slots in a
+// fixed CVD-checked order plus chrome inks, each with a dark-surface
+// step selected for the dark band (not an automatic flip). Text always
+// wears ink tokens; only marks and swatches wear series colors.
+const reportCSS = `:root { color-scheme: light dark; }
+body {
+  margin: 2rem auto; max-width: 800px; padding: 0 1rem;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--text-primary);
+}
+body, .viz-root {
+  --page: #f9f9f7; --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --series-4: #eda100; --series-5: #e87ba4; --series-6: #008300;
+  --series-7: #4a3aa7; --series-8: #e34948;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) body,
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --page: #0d0d0d; --surface-1: #1a1a19;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --baseline: #383835;
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+    --series-7: #9085e9; --series-8: #e66767;
+  }
+}
+:root[data-theme="dark"] body,
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --page: #0d0d0d; --surface-1: #1a1a19;
+  --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
+  --grid: #2c2c2a; --baseline: #383835;
+  --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+  --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+  --series-7: #9085e9; --series-8: #e66767;
+}
+h1 { font-size: 1.4rem; }
+h2 { font-size: 1.1rem; margin-bottom: 0.3rem; }
+h3 { font-size: 0.95rem; color: var(--text-secondary); margin: 0.8rem 0 0.2rem; }
+section {
+  background: var(--surface-1); border-radius: 8px;
+  padding: 1rem 1.2rem; margin: 1rem 0;
+}
+.note { color: var(--muted); font-size: 0.85rem; }
+figure.viz-root { margin: 0.5rem 0; }
+svg { max-width: 100%; height: auto; display: block; background: var(--surface-1); }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.axis { stroke: var(--baseline); stroke-width: 1; }
+.tick { fill: var(--text-secondary); font-size: 11px; font-variant-numeric: tabular-nums; }
+.label { fill: var(--text-secondary); font-size: 12px; }
+.line { fill: none; stroke-width: 2; stroke-linejoin: round; }
+.dot { stroke: var(--surface-1); stroke-width: 1; }
+.s1 { stroke: var(--series-1); } .dot.s1 { fill: var(--series-1); }
+.s2 { stroke: var(--series-2); } .dot.s2 { fill: var(--series-2); }
+.s3 { stroke: var(--series-3); } .dot.s3 { fill: var(--series-3); }
+.s4 { stroke: var(--series-4); } .dot.s4 { fill: var(--series-4); }
+.s5 { stroke: var(--series-5); } .dot.s5 { fill: var(--series-5); }
+.s6 { stroke: var(--series-6); } .dot.s6 { fill: var(--series-6); }
+.s7 { stroke: var(--series-7); } .dot.s7 { fill: var(--series-7); }
+.s8 { stroke: var(--series-8); } .dot.s8 { fill: var(--series-8); }
+.legend { display: flex; flex-wrap: wrap; gap: 0.4rem 1rem; margin: 0.4rem 0; font-size: 0.85rem; color: var(--text-secondary); }
+.key { display: inline-flex; align-items: center; gap: 0.35rem; }
+.swatch { width: 14px; height: 3px; border-radius: 2px; display: inline-block; }
+.swatch.s1 { background: var(--series-1); } .swatch.s2 { background: var(--series-2); }
+.swatch.s3 { background: var(--series-3); } .swatch.s4 { background: var(--series-4); }
+.swatch.s5 { background: var(--series-5); } .swatch.s6 { background: var(--series-6); }
+.swatch.s7 { background: var(--series-7); } .swatch.s8 { background: var(--series-8); }
+details { margin: 0.4rem 0; font-size: 0.85rem; }
+summary { color: var(--muted); cursor: pointer; }
+table { border-collapse: collapse; font-size: 0.85rem; }
+table.kv th { text-align: left; padding-right: 1rem; font-weight: 600; color: var(--text-secondary); }
+table.data th, table.data td { padding: 0.1rem 0.8rem 0.1rem 0; text-align: left; }
+table.data td { font-variant-numeric: tabular-nums; }
+table.data th { color: var(--text-secondary); }
+`

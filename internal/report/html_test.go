@@ -1,0 +1,131 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"rlsched/internal/experiments"
+	"rlsched/internal/probe"
+)
+
+func htmlSampleFigure() experiments.Figure {
+	return experiments.Figure{
+		ID: "fig7", Title: "Average response time", XLabel: "tasks", YLabel: "AveRT (s)",
+		Expected: "RAA lowest",
+		Series: []experiments.Series{
+			{Label: "RAA", X: []float64{500, 1000, 1500}, Y: []float64{1.2, 1.5, 1.9}},
+			{Label: "Greedy", X: []float64{500, 1000, 1500}, Y: []float64{1.4, 1.9, 2.6}},
+		},
+	}
+}
+
+func renderSample(t *testing.T) string {
+	t.Helper()
+	h := NewHTMLReport("run report <test>")
+	h.AddKeyValues("Run", [][2]string{{"policy", "RAA"}, {"tasks", "1500"}})
+	h.AddFigure(htmlSampleFigure())
+	h.AddRunSeries(probe.RunSeries{
+		Index: 0, Label: "raa n=1500 cv=0.5 seed=1",
+		Series: []probe.Series{
+			{Name: "site0.queue_depth", Family: "queue", Points: []probe.Point{{T: 0, V: 3}, {T: 25, V: 7}}},
+			{Name: "site1.queue_depth", Family: "queue", Points: []probe.Point{{T: 0, V: 2}, {T: 25, V: 5}}},
+			{Name: "power.draw", Family: "power", Unit: "W", Points: []probe.Point{{T: 0, V: 410}, {T: 25, V: 530}}},
+		},
+	})
+	var b strings.Builder
+	if err := h.Render(&b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	return b.String()
+}
+
+// The whole point of the HTML report is that the single file works
+// offline forever: no scripts, no external fetches of any kind.
+func TestHTMLSelfContained(t *testing.T) {
+	out := renderSample(t)
+	for _, banned := range []string{"<script", "http://", "https://", "src=", "url(", "@import"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("report contains %q — not self-contained", banned)
+		}
+	}
+	if !strings.Contains(out, "<svg") {
+		t.Error("report has no inline SVG chart")
+	}
+	if !strings.Contains(out, "<style>") {
+		t.Error("report has no inline stylesheet")
+	}
+}
+
+func TestHTMLEscapesUserText(t *testing.T) {
+	out := renderSample(t)
+	if strings.Contains(out, "<test>") {
+		t.Error("title not HTML-escaped")
+	}
+	if !strings.Contains(out, "run report &lt;test&gt;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestHTMLLegendRules(t *testing.T) {
+	out := renderSample(t)
+	// The two-series figure and the two-site queue chart need legends; the
+	// single-series power chart must not get one.
+	if got := strings.Count(out, `<div class="legend">`); got != 2 {
+		t.Errorf("legend count = %d, want 2 (multi-series charts only)", got)
+	}
+	if !strings.Contains(out, ">Greedy</span>") {
+		t.Error("figure legend missing series label")
+	}
+}
+
+func TestHTMLDataTables(t *testing.T) {
+	out := renderSample(t)
+	// Every chart carries its data as a table: 1 figure + 2 series charts.
+	if got := strings.Count(out, "<details>"); got != 3 {
+		t.Errorf("data table count = %d, want 3", got)
+	}
+	if !strings.Contains(out, "<td>530</td>") {
+		t.Error("series value missing from data table")
+	}
+}
+
+func TestHTMLSeriesCap(t *testing.T) {
+	h := NewHTMLReport("cap")
+	fig := experiments.Figure{ID: "x", Title: "too many", XLabel: "x", YLabel: "y"}
+	for i := 0; i < 11; i++ {
+		fig.Series = append(fig.Series, experiments.Series{
+			Label: string(rune('a' + i)), X: []float64{0, 1}, Y: []float64{float64(i), float64(i + 1)},
+		})
+	}
+	h.AddFigure(fig)
+	var b strings.Builder
+	if err := h.Render(&b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "<polyline"); got != maxChartSeries {
+		t.Errorf("plotted %d polylines, want cap %d", got, maxChartSeries)
+	}
+	if !strings.Contains(out, "8 of 11 series plotted") {
+		t.Error("series-cap note missing")
+	}
+	// Dropped series still appear in the table view.
+	if !strings.Contains(out, "<td>k</td>") {
+		t.Error("11th series missing from data table")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 5)
+	if len(ticks) < 3 {
+		t.Fatalf("too few ticks: %v", ticks)
+	}
+	for _, tk := range ticks {
+		if tk < 0 || tk > 100.0001 {
+			t.Errorf("tick %g outside range", tk)
+		}
+	}
+	if niceTicks(5, 5, 5) != nil {
+		t.Error("degenerate range should yield no ticks")
+	}
+}

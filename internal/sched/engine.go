@@ -10,6 +10,7 @@ import (
 	"rlsched/internal/memory"
 	"rlsched/internal/metrics"
 	"rlsched/internal/platform"
+	"rlsched/internal/probe"
 	"rlsched/internal/rng"
 	"rlsched/internal/trace"
 	"rlsched/internal/workload"
@@ -69,6 +70,11 @@ type Config struct {
 	// engine's own per-run counters are always collected — they are plain
 	// single-threaded increments — and returned in Result.Stats.
 	Stats *Stats `json:"-"`
+	// Probe, when non-nil, records simulation-domain time series (queue
+	// depths, power draw, learning signals) at a sim-time cadence.
+	// Runtime-only, like Tracer: a nil Probe costs nothing, and sampling
+	// never changes simulation outcomes — only the DES event count.
+	Probe *probe.Recorder `json:"-"`
 }
 
 // DefaultConfig returns the engine defaults.
@@ -192,6 +198,9 @@ type Engine struct {
 	// Per-run instrumentation tallies (see RunStats). Plain fields on the
 	// single-threaded event loop: incrementing them allocates nothing.
 	statTasks, statGroups, statSplits, statBacklogged uint64
+	// statGroupTasks sums the sizes of placed groups so probes can report
+	// the running mean group size in O(1) per sample.
+	statGroupTasks uint64
 }
 
 // New builds an engine. The platform must validate; the workload must be
@@ -335,6 +344,9 @@ func (e *Engine) Run() (res Result, err error) {
 			}
 		}
 	}
+	if e.cfg.Probe != nil {
+		e.attachProbes()
+	}
 	e.sim.Run()
 	if e.completed != len(e.tasks) {
 		return Result{}, &InvariantError{Policy: e.policy.Name(),
@@ -385,8 +397,73 @@ func (e *Engine) buildResult() Result {
 			HeapHighWater:  uint64(e.sim.HeapHighWater()),
 		},
 	}
+	if d, ok := e.cfg.Tracer.(interface{ Dropped() int }); ok {
+		res.Stats.TimelineDrops = uint64(d.Dropped())
+	}
+	if e.cfg.Probe != nil {
+		e.cfg.Probe.SampleNow(end)
+	}
 	e.cfg.Stats.add(res.Stats)
 	return res
+}
+
+// attachProbes registers the engine's simulation-domain series on the
+// configured probe recorder and starts its sampling event. Every closure
+// is strictly read-only — energy uses the TotalEnergyAt projection
+// rather than AdvanceAll, so even the float rounding of the energy
+// integral is untouched — and probed runs produce byte-identical
+// results to unprobed ones.
+func (e *Engine) attachProbes() {
+	rec := e.cfg.Probe
+	for _, ag := range e.agents {
+		ag := ag
+		site := ag.Site
+		rec.Register(probe.FamilyQueue, fmt.Sprintf("site%d.queue_depth", site.ID), "groups", func() float64 {
+			n := 0
+			for _, nd := range site.Nodes {
+				n += len(e.queues[nd.ID])
+			}
+			return float64(n)
+		})
+		rec.Register(probe.FamilyQueue, fmt.Sprintf("site%d.backlog", site.ID), "groups", func() float64 {
+			return float64(ag.BacklogLen())
+		})
+		rec.Register(probe.FamilyUtil, fmt.Sprintf("site%d.utilization", site.ID), "fraction", func() float64 {
+			busy, total := 0, 0
+			for _, nd := range site.Nodes {
+				for _, p := range nd.Processors {
+					total++
+					if p.State() == platform.StateBusy {
+						busy++
+					}
+				}
+			}
+			if total == 0 {
+				return 0
+			}
+			return float64(busy) / float64(total)
+		})
+	}
+	rec.Register(probe.FamilyPower, "power.draw", "W", func() float64 {
+		w := 0.0
+		for _, p := range e.pl.Processors() {
+			w += p.InstantPower()
+		}
+		return w
+	})
+	rec.Register(probe.FamilyEnergy, "energy.total", "W·t", func() float64 {
+		return e.pl.TotalEnergyAt(e.sim.Now())
+	})
+	rec.Register(probe.FamilyRL, "rl.reward", "reward", e.mem.MeanReward)
+	rec.Register(probe.FamilyRL, "rl.error", "err_tg", e.mem.MeanError)
+	rec.Register(probe.FamilyRL, "rl.hit_rate", "fraction", e.mem.HitRate)
+	rec.Register(probe.FamilyGroup, "group.mean_size", "tasks", func() float64 {
+		if e.statGroups == 0 {
+			return 0
+		}
+		return float64(e.statGroupTasks) / float64(e.statGroups)
+	})
+	rec.Start(e.sim)
 }
 
 // onArrival routes a task to a site agent and merges it.
@@ -596,6 +673,7 @@ func (e *Engine) enqueue(ag *Agent, g *grouping.Group, node *platform.Node) {
 	}
 	now := e.sim.Now()
 	e.statGroups++
+	e.statGroupTasks += uint64(g.Len())
 	g.NodeID = node.ID
 	g.EnqueuedAt = now
 	g.ErrTG = grouping.ErrTGFor(g.PW(), node.Capacity())

@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"testing"
+
+	"rlsched/internal/probe"
+)
+
+// TestProbedRunIdenticalResults pins the probe contract: sampling is
+// read-only with respect to simulation outcomes, so a probed run's
+// Result matches an unprobed run of the same spec byte for byte except
+// for the instrumentation counters (the sampling events themselves add
+// to the DES event count).
+func TestProbedRunIdenticalResults(t *testing.T) {
+	plain := statsScenario(t, 11, DefaultConfig()).MustRun()
+
+	cfg := DefaultConfig()
+	cfg.Probe = probe.NewRecorder(probe.Config{Cadence: 10})
+	probed := statsScenario(t, 11, cfg).MustRun()
+
+	if probed.Stats.Events <= plain.Stats.Events {
+		t.Errorf("probed run counted %d events, want more than unprobed %d (sampling events)",
+			probed.Stats.Events, plain.Stats.Events)
+	}
+	// Everything except the event counters must be identical.
+	probed.Stats, plain.Stats = RunStats{}, RunStats{}
+	if probed.AveRT != plain.AveRT ||
+		probed.ECS != plain.ECS || probed.EndTime != plain.EndTime ||
+		probed.Completed != plain.Completed || probed.SuccessRate != plain.SuccessRate ||
+		probed.MeanWait != plain.MeanWait || probed.MeanUtilization != plain.MeanUtilization {
+		t.Fatalf("probe changed simulation outcomes:\nprobed   %+v\nunprobed %+v", probed, plain)
+	}
+}
+
+// TestProbeRecordsAllFamilies checks that an engine run populates every
+// series family with plausible values.
+func TestProbeRecordsAllFamilies(t *testing.T) {
+	rec := probe.NewRecorder(probe.Config{Cadence: 10})
+	cfg := DefaultConfig()
+	cfg.Probe = rec
+	res := statsScenario(t, 11, cfg).MustRun()
+
+	series, _ := rec.Snapshot()
+	byFamily := map[string]int{}
+	byName := map[string]probe.Series{}
+	for _, s := range series {
+		byFamily[s.Family]++
+		byName[s.Name] = s
+		if len(s.Points) == 0 {
+			t.Errorf("series %s recorded no points", s.Name)
+		}
+	}
+	// The stats scenario has 2 sites: 2 queue-depth + 2 backlog series.
+	if byFamily[probe.FamilyQueue] != 4 {
+		t.Errorf("queue family has %d series, want 4 (2 sites x depth+backlog)", byFamily[probe.FamilyQueue])
+	}
+	if byFamily[probe.FamilyUtil] != 2 {
+		t.Errorf("util family has %d series, want 2", byFamily[probe.FamilyUtil])
+	}
+	for _, want := range []string{"power.draw", "energy.total", "rl.reward", "rl.error", "rl.hit_rate", "group.mean_size"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("series %q missing (have %v)", want, byFamily)
+		}
+	}
+	// Cumulative energy must be nondecreasing and end near the result's
+	// total (the last sample is taken at run end, so it matches exactly).
+	en := byName["energy.total"].Points
+	for i := 1; i < len(en); i++ {
+		if en[i].V < en[i-1].V {
+			t.Fatalf("cumulative energy decreased: %v -> %v", en[i-1], en[i])
+		}
+	}
+	if got := en[len(en)-1].V; got != res.ECS {
+		t.Errorf("final energy sample %g != result ECS %g", got, res.ECS)
+	}
+	// Utilization is a fraction.
+	for _, s := range series {
+		if s.Family != probe.FamilyUtil {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.V < 0 || p.V > 1 {
+				t.Fatalf("utilization sample %v outside [0,1] in %s", p, s.Name)
+			}
+		}
+	}
+}
+
+// TestProbeFamilySelection checks the engine honours the recorder's
+// family selection: unselected families get no series at all.
+func TestProbeFamilySelection(t *testing.T) {
+	rec := probe.NewRecorder(probe.Config{Cadence: 10, Series: []string{probe.FamilyPower}})
+	cfg := DefaultConfig()
+	cfg.Probe = rec
+	statsScenario(t, 11, cfg).MustRun()
+	series, _ := rec.Snapshot()
+	if len(series) != 1 || series[0].Name != "power.draw" {
+		names := make([]string, len(series))
+		for i, s := range series {
+			names[i] = s.Name
+		}
+		t.Fatalf("selected only power, recorded %v", names)
+	}
+}
+
+// TestNilProbeAllocsNothing extends the disabled-instrumentation
+// contract to the probe hook: the nil-Probe guards the engine runs are
+// branch-only, so an unprobed run pays zero allocations for the
+// subsystem's existence.
+func TestNilProbeAllocsNothing(t *testing.T) {
+	e := statsScenario(t, 3, DefaultConfig())
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if e.cfg.Probe != nil {
+			e.attachProbes()
+		}
+		if e.cfg.Probe != nil {
+			e.cfg.Probe.SampleNow(0)
+		}
+	}); allocs != 0 {
+		t.Fatalf("nil-probe guard path allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -23,6 +23,11 @@ type RunStats struct {
 	Backlogged uint64 `json:"backlogged"`
 	// HeapHighWater is the peak pending-event queue length.
 	HeapHighWater uint64 `json:"heap_high_water"`
+	// TimelineDrops counts trace events the attached timeline tracer
+	// could not pair (see trace.Timeline.Dropped); zero when no timeline
+	// is attached. A non-zero value means the exported Gantt data is
+	// missing executions.
+	TimelineDrops uint64 `json:"timeline_drops"`
 }
 
 // Stats aggregates RunStats across runs with atomic counters, so the
@@ -32,6 +37,7 @@ type RunStats struct {
 type Stats struct {
 	events, tasksScheduled, groupsPlaced, splits, backlogged atomic.Uint64
 	heapHighWater                                            atomic.Uint64
+	timelineDrops                                            atomic.Uint64
 	runs                                                     atomic.Uint64
 }
 
@@ -45,6 +51,7 @@ func (s *Stats) add(r RunStats) {
 	s.groupsPlaced.Add(r.GroupsPlaced)
 	s.splits.Add(r.Splits)
 	s.backlogged.Add(r.Backlogged)
+	s.timelineDrops.Add(r.TimelineDrops)
 	s.runs.Add(1)
 	for {
 		cur := s.heapHighWater.Load()
@@ -67,6 +74,7 @@ func (s *Stats) Snapshot() RunStats {
 		Splits:         s.splits.Load(),
 		Backlogged:     s.backlogged.Load(),
 		HeapHighWater:  s.heapHighWater.Load(),
+		TimelineDrops:  s.timelineDrops.Load(),
 	}
 }
 

@@ -127,3 +127,24 @@ func TestDisabledInstrumentationAllocsNothing(t *testing.T) {
 		t.Fatalf("Stats.add allocates %.1f per op, want 0", allocs)
 	}
 }
+
+// TestTimelineDropsSurfaceInRunStats checks the engine reads the
+// tracer's drop counter into RunStats (and aggregates it) whenever the
+// attached tracer exposes one.
+func TestTimelineDropsSurfaceInRunStats(t *testing.T) {
+	tl := trace.NewTimeline()
+	// Seed one unpairable event so the counter is provably nonzero.
+	tl.Emit(trace.Event{At: 0, Level: trace.LevelDebug, Kind: "finish",
+		Fields: []trace.Field{trace.F("task", 999), trace.F("proc", 0)}})
+	agg := new(Stats)
+	cfg := DefaultConfig()
+	cfg.Tracer = tl
+	cfg.Stats = agg
+	res := statsScenario(t, 5, cfg).MustRun()
+	if res.Stats.TimelineDrops < 1 {
+		t.Fatalf("TimelineDrops = %d, want >= 1", res.Stats.TimelineDrops)
+	}
+	if got := agg.Snapshot().TimelineDrops; got != res.Stats.TimelineDrops {
+		t.Fatalf("aggregated TimelineDrops = %d, want %d", got, res.Stats.TimelineDrops)
+	}
+}

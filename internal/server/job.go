@@ -122,6 +122,11 @@ type job struct {
 	// ring retains the job's engine trace when the spec asked for one
 	// ("trace": true); nil otherwise, and an untraced job pays nothing.
 	ring *trace.Ring
+	// series collects the per-point probe recorders when the spec carried
+	// a "series" block; nil otherwise, and an unprobed job pays nothing.
+	// Recorded series are runtime-only, like the trace ring: a restored
+	// job serves an empty set.
+	series *seriesLog
 
 	mu        sync.Mutex
 	state     State
@@ -150,6 +155,9 @@ func newJob(id string, spec config.JobSpec, total int) *job {
 	}
 	if spec.Trace {
 		j.ring = trace.NewRing(traceCap, trace.LevelDebug)
+	}
+	if spec.Series != nil {
+		j.series = &seriesLog{}
 	}
 	return j
 }

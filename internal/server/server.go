@@ -15,6 +15,14 @@
 //	GET    /v1/jobs/{id}/events progress stream (SSE, ends at terminal)
 //	GET    /v1/jobs/{id}/trace  retained engine trace (404 unless the job
 //	                            was submitted with "trace": true)
+//	GET    /v1/jobs/{id}/series recorded simulation time series (404
+//	                            unless the job was submitted with a
+//	                            "series" block); JSON by default, CSV
+//	                            via ?format=csv or Accept: text/csv
+//	GET    /v1/jobs/{id}/series/stream
+//	                            live series over SSE: full snapshot,
+//	                            then delta frames, reset frames when
+//	                            history is rewritten
 //	GET    /healthz             liveness
 //	GET    /metrics             Prometheus text exposition; ?format=json
 //	                            serves the legacy flat-JSON counter view
@@ -146,6 +154,10 @@ type Server struct {
 	// comment line this often so proxies and clients can tell a quiet
 	// job from a dead connection. Tests shorten it.
 	keepAlive time.Duration
+	// seriesPoll is how often a series stream re-snapshots its job's
+	// recorders between point completions, surfacing samples recorded
+	// mid-point. Tests shorten it.
+	seriesPoll time.Duration
 	// retryBase is the first retry's backoff delay; attempt k waits
 	// retryBase << k. Tests shrink it to keep retries instant.
 	retryBase time.Duration
@@ -179,6 +191,7 @@ type metrics struct {
 
 	engEvents, engTasks, engGroups *obs.Counter
 	engSplits, engBacklogged       *obs.Counter
+	engTimelineDrops               *obs.Counter
 	engHeapHW                      *obs.Gauge
 }
 
@@ -200,7 +213,9 @@ func newMetrics(reg *obs.Registry) metrics {
 		engGroups:     reg.Counter("engine_groups_placed_total", "Merge groups placed across all jobs."),
 		engSplits:     reg.Counter("engine_splits_total", "Tasks pulled forward by the split process across all jobs."),
 		engBacklogged: reg.Counter("engine_backlogged_total", "Group placements deferred for lack of node queue slots."),
-		engHeapHW:     reg.Gauge("engine_heap_high_water", "Peak pending-event queue length over any single run."),
+		engTimelineDrops: reg.Counter("engine_timeline_drops_total",
+			"Trace events an attached timeline tracer could not pair."),
+		engHeapHW: reg.Gauge("engine_heap_high_water", "Peak pending-event queue length over any single run."),
 	}
 	for _, st := range terminalStates {
 		m.settled[st] = reg.Counter("jobs_total", "Jobs settled, by terminal state.", obs.L("state", string(st)))
@@ -218,6 +233,7 @@ func (m *metrics) foldEngine(snap sched.RunStats) {
 	m.engGroups.Add(snap.GroupsPlaced)
 	m.engSplits.Add(snap.Splits)
 	m.engBacklogged.Add(snap.Backlogged)
+	m.engTimelineDrops.Add(snap.TimelineDrops)
 	if hw := float64(snap.HeapHighWater); hw > m.engHeapHW.Value() {
 		m.engHeapHW.Set(hw)
 	}
@@ -236,16 +252,17 @@ func New(opts Options) (*Server, error) {
 	}
 	reg := obs.NewRegistry()
 	s := &Server{
-		opts:      opts,
-		mux:       http.NewServeMux(),
-		baseCtx:   ctx,
-		cancelAll: cancel,
-		jobs:      make(map[string]*job),
-		reg:       reg,
-		m:         newMetrics(reg),
-		log:       log,
-		keepAlive: 15 * time.Second,
-		retryBase: time.Second,
+		opts:       opts,
+		mux:        http.NewServeMux(),
+		baseCtx:    ctx,
+		cancelAll:  cancel,
+		jobs:       make(map[string]*job),
+		reg:        reg,
+		m:          newMetrics(reg),
+		log:        log,
+		keepAlive:  15 * time.Second,
+		seriesPoll: time.Second,
+		retryBase:  time.Second,
 	}
 	var pending []*job
 	if opts.SpoolDir != "" {
@@ -305,6 +322,8 @@ func New(opts Options) (*Server, error) {
 	handle("DELETE /v1/jobs/{id}", s.handleCancel)
 	handle("GET /v1/jobs/{id}/events", s.handleEvents)
 	handle("GET /v1/jobs/{id}/trace", s.handleTrace)
+	handle("GET /v1/jobs/{id}/series", s.handleSeries)
+	handle("GET /v1/jobs/{id}/series/stream", s.handleSeriesStream)
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /metrics", s.handleMetrics)
 	if opts.Pprof {
@@ -811,6 +830,9 @@ func (s *Server) runJob(j *job) {
 	if j.ring != nil {
 		prof.Engine.Tracer = j.ring
 	}
+	if j.series != nil {
+		prof.ProbeFor = j.series.probeFor(j.spec.Series.ProbeConfig())
+	}
 
 	var (
 		figures []experiments.Figure
@@ -821,8 +843,13 @@ func (s *Server) runJob(j *job) {
 		j.mu.Lock()
 		j.attempts = attempt + 1
 		j.mu.Unlock()
-		// A retry re-runs every point, so the progress counter restarts.
+		// A retry re-runs every point, so the progress counter restarts —
+		// and so do the recorded series, or stale recorders from the
+		// failed attempt would double up in responses.
 		j.done.Store(0)
+		if j.series != nil && attempt > 0 {
+			j.series.reset()
+		}
 		figures, points, err = s.execute(jobCtx, j, prof, attempt)
 		if err == nil || !errors.Is(err, ErrTransient) ||
 			attempt >= j.spec.MaxRetries || jobCtx.Err() != nil {

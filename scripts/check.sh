@@ -22,4 +22,11 @@ if [ "${FULL_RACE:-0}" = "1" ]; then
 else
 	go test -race -short ./...
 fi
+# Benchmark drift check: compares current timings against the committed
+# BENCH_*.json baselines. A >20% slowdown prints a warning table (and a
+# CI step-summary entry) but never fails the gate — single runs are too
+# noisy to block on. Skip entirely with SKIP_BENCH_COMPARE=1.
+if [ "${SKIP_BENCH_COMPARE:-0}" != "1" ]; then
+	go run ./cmd/benchcmp
+fi
 echo "check.sh: all gates passed"
