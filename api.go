@@ -288,6 +288,7 @@ type (
 const (
 	JobKindFigure = config.JobFigure
 	JobKindPoints = config.JobPoints
+	JobKindScale  = config.JobScale
 )
 
 // NewJobServer builds a job-queue server; serve it with net/http and
@@ -363,3 +364,50 @@ func PointLabel(s RunSpec) string { return experiments.PointLabel(s) }
 
 // NewHTMLReport starts an empty self-contained HTML report.
 func NewHTMLReport(title string) *HTMLReport { return report.NewHTMLReport(title) }
+
+// Large-scale streaming: scenarios of thousands of sites fed a lazily
+// generated arrival stream through a low-memory engine, so peak memory
+// tracks the active task set rather than the total task count.
+type (
+	// ScaleConfig describes one large-scale streaming scenario (site
+	// count, total tasks, offered load, diurnal modulation).
+	ScaleConfig = experiments.ScaleConfig
+	// WorkloadSource yields tasks one at a time in arrival order; the
+	// engine pulls from it lazily.
+	WorkloadSource = workload.Source
+	// DiurnalWorkloadConfig parameterises the day/night-modulated
+	// streaming task generator.
+	DiurnalWorkloadConfig = workload.DiurnalConfig
+)
+
+// AllScalePresets lists the built-in scale scenario names.
+func AllScalePresets() []string {
+	return append([]string(nil), experiments.ScalePresets...)
+}
+
+// ScalePreset returns a named scale scenario: "small" (100 sites, 50k
+// tasks), "medium" (1,000 sites, 500k) or "large" (5,000 sites, 2M).
+func ScalePreset(name string) (ScaleConfig, error) { return experiments.ScalePreset(name) }
+
+// RunScale executes one scale scenario end to end and returns its
+// summary. The result's Collector is in streaming mode: headline
+// metrics are exact, RTPercentile approximate, per-task records absent.
+func RunScale(c ScaleConfig) (Result, error) { return experiments.RunScale(c) }
+
+// NewEngineFromSource builds an engine that pulls tasks from a streaming
+// source instead of a pre-generated slice. Set EngineConfig.LowMemory to
+// aggregate observations on the fly (O(active) memory).
+func NewEngineFromSource(cfg EngineConfig, pl *Platform, src WorkloadSource, policy Policy, r *Stream) (*Engine, error) {
+	return sched.NewFromSource(cfg, pl, src, policy, r)
+}
+
+// NewDiurnalWorkloadSource creates a streaming generator whose arrival
+// rate follows a sinusoidal day/night pattern (Lewis-Shedler thinning;
+// the long-run rate matches the configured mean).
+func NewDiurnalWorkloadSource(cfg DiurnalWorkloadConfig, r *Stream) (WorkloadSource, error) {
+	return workload.NewDiurnalSource(cfg, r)
+}
+
+// WorkloadFromSlice adapts a pre-generated, arrival-ordered task slice
+// into a streaming source.
+func WorkloadFromSlice(tasks []*Task) WorkloadSource { return workload.FromSlice(tasks) }

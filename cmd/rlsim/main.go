@@ -6,6 +6,12 @@
 //	rlsim [-policy adaptive-rl] [-n 1000] [-cv 0] [-seed 1]
 //	      [-config profile.json] [-series-csv series.csv]
 //	      [-report run.html]
+//
+// Large-scale streaming runs (thousands of sites, millions of tasks,
+// O(active) memory) use the scale presets instead of a profile:
+//
+//	rlsim -scale large [-scale-sites 5000] [-scale-tasks 2000000]
+//	      [-policy adaptive-rl] [-seed 1]
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -41,6 +48,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reportPath := fs.String("report", "", "write a self-contained HTML run report to this file")
 	seriesCadence := fs.Float64("series-cadence", 0, "sim-time sampling interval for -series-csv/-report (0 = default)")
 	seriesMax := fs.Int("series-max", 0, "retained points per series before downsampling (0 = default)")
+	scale := fs.String("scale", "", "run a large-scale streaming scenario instead: small | medium | large")
+	scaleSites := fs.Int("scale-sites", 0, "override the scale preset's site count")
+	scaleTasks := fs.Int("scale-tasks", 0, "override the scale preset's task count")
 	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -48,6 +58,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *version {
 		fmt.Fprintf(stdout, "rlsim %s\n", obs.ReadBuildInfo())
 		return 0
+	}
+	if *scale != "" {
+		return runScale(*scale, *scaleSites, *scaleTasks, *policy, *seed, stdout, stderr)
 	}
 
 	profile := rlsched.DefaultProfile()
@@ -194,6 +207,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "wrote %s\n", *reportPath)
 		}
 	}
+	return 0
+}
+
+// runScale executes one large-scale streaming scenario and prints its
+// summary plus the process's peak heap, the number the O(active) memory
+// claim is about.
+func runScale(preset string, sites, tasks int, policy string, seed uint64, stdout, stderr io.Writer) int {
+	cfg, err := rlsched.ScalePreset(preset)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if sites > 0 {
+		cfg.Sites = sites
+	}
+	if tasks > 0 {
+		cfg.NumTasks = tasks
+	}
+	cfg.Policy = rlsched.PolicyName(policy)
+	cfg.Seed = seed
+	res, err := rlsched.RunScale(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(stdout, "scenario          %s: %d sites, %d tasks, load %.2f\n",
+		preset, cfg.Sites, cfg.NumTasks, cfg.Load)
+	fmt.Fprintf(stdout, "policy            %s\n", res.Policy)
+	fmt.Fprintf(stdout, "tasks             %d submitted, %d completed\n", res.Submitted, res.Completed)
+	fmt.Fprintf(stdout, "avg response time %.2f t units (wait %.2f, p95 ~%.2f)\n",
+		res.AveRT, res.MeanWait, res.Collector.RTPercentile(95))
+	fmt.Fprintf(stdout, "energy (ECS)      %.3f million W·t (%.1f per task)\n",
+		res.ECS/1e6, res.Efficiency.EnergyPerTask)
+	fmt.Fprintf(stdout, "successful rate   %.3f (%d deadline hits)\n", res.SuccessRate, res.DeadlineHits)
+	fmt.Fprintf(stdout, "utilisation       %.3f mean busy fraction\n", res.MeanUtilization)
+	fmt.Fprintf(stdout, "makespan          %.1f t units\n", res.EndTime)
+	fmt.Fprintf(stdout, "peak heap         %.1f MiB (HeapSys %.1f MiB)\n",
+		float64(ms.HeapAlloc)/(1<<20), float64(ms.HeapSys)/(1<<20))
 	return 0
 }
 

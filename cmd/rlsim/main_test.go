@@ -43,6 +43,30 @@ func TestRunTiny(t *testing.T) {
 	}
 }
 
+func TestRunScale(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-scale", "small", "-scale-sites", "12", "-scale-tasks", "600", "-policy", "greedy", "-seed", "4"}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr=%q", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"scenario          small: 12 sites, 600 tasks", "600 submitted, 600 completed", "peak heap"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunScaleBadPreset(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scale", "galactic"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown scale preset") {
+		t.Fatalf("stderr: %q", errOut.String())
+	}
+}
+
 func TestRunDumpGantt(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "gantt.csv")
 	var out, errOut bytes.Buffer

@@ -17,6 +17,11 @@ const (
 	// JobPoints runs an explicit list of simulation points, exactly as
 	// given (no replication expansion) — the cmd/sweep shape.
 	JobPoints = "points"
+	// JobScale runs one large-scale streaming scenario (see
+	// experiments.ScaleConfig): thousands of sites, a lazily generated
+	// arrival stream, O(active) memory. The job's profile is ignored —
+	// scale scenarios derive everything from the scale block.
+	JobScale = "scale"
 )
 
 // JobSpec is the wire schema of one simulation job submitted to the
@@ -34,6 +39,8 @@ type JobSpec struct {
 	Figure string `json:"figure,omitempty"`
 	// Points lists the simulation points for JobPoints jobs.
 	Points []experiments.RunSpec `json:"points,omitempty"`
+	// Scale configures JobScale jobs.
+	Scale *ScaleSpec `json:"scale,omitempty"`
 	// TimeoutSec bounds the job's wall-clock runtime in seconds; 0 means
 	// no deadline. The daemon enforces it through the job's context,
 	// which the runner checks between simulation points, so a job
@@ -76,6 +83,44 @@ type SeriesSpec struct {
 	// Select lists the series families to record (see probe.Families);
 	// empty records all of them.
 	Select []string `json:"select,omitempty"`
+}
+
+// ScaleSpec is the wire form of one large-scale streaming scenario: a
+// preset name plus optional overrides.
+type ScaleSpec struct {
+	// Preset names the scenario size: "small", "medium" or "large".
+	Preset string `json:"preset"`
+	// Sites and NumTasks override the preset when positive.
+	Sites    int `json:"sites,omitempty"`
+	NumTasks int `json:"num_tasks,omitempty"`
+	// Policy overrides the preset's policy when non-empty.
+	Policy experiments.PolicyName `json:"policy,omitempty"`
+	// Seed overrides the preset's seed when non-zero.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Config resolves the spec into a runnable experiments.ScaleConfig.
+func (s *ScaleSpec) Config() (experiments.ScaleConfig, error) {
+	if s == nil {
+		return experiments.ScaleConfig{}, fmt.Errorf("config: %q job needs a scale block", JobScale)
+	}
+	c, err := experiments.ScalePreset(s.Preset)
+	if err != nil {
+		return experiments.ScaleConfig{}, fmt.Errorf("config: %w", err)
+	}
+	if s.Sites > 0 {
+		c.Sites = s.Sites
+	}
+	if s.NumTasks > 0 {
+		c.NumTasks = s.NumTasks
+	}
+	if s.Policy != "" {
+		c.Policy = s.Policy
+	}
+	if s.Seed != 0 {
+		c.Seed = s.Seed
+	}
+	return c, nil
 }
 
 // ProbeConfig translates the spec into the probe package's config.
@@ -127,6 +172,9 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	if err := s.Series.validate(); err != nil {
 		return JobSpec{}, err
 	}
+	if s.Kind != JobScale && s.Scale != nil {
+		return JobSpec{}, fmt.Errorf("config: %q job must not set scale", s.Kind)
+	}
 	switch s.Kind {
 	case JobFigure:
 		if len(s.Points) != 0 {
@@ -152,10 +200,21 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 				return JobSpec{}, fmt.Errorf("config: point %d: %w", i, err)
 			}
 		}
+	case JobScale:
+		if s.Figure != "" || len(s.Points) != 0 {
+			return JobSpec{}, fmt.Errorf("config: %q job must not set figure or points", JobScale)
+		}
+		c, err := s.Scale.Config()
+		if err != nil {
+			return JobSpec{}, err
+		}
+		if err := c.Validate(); err != nil {
+			return JobSpec{}, fmt.Errorf("config: %w", err)
+		}
 	case "":
-		return JobSpec{}, fmt.Errorf("config: job kind is required (%q or %q)", JobFigure, JobPoints)
+		return JobSpec{}, fmt.Errorf("config: job kind is required (%q, %q or %q)", JobFigure, JobPoints, JobScale)
 	default:
-		return JobSpec{}, fmt.Errorf("config: unknown job kind %q (want %q or %q)", s.Kind, JobFigure, JobPoints)
+		return JobSpec{}, fmt.Errorf("config: unknown job kind %q (want %q, %q or %q)", s.Kind, JobFigure, JobPoints, JobScale)
 	}
 	return s, nil
 }
@@ -169,6 +228,8 @@ func (s JobSpec) TotalPoints() (int, error) {
 		return experiments.PointCount(s.Profile, s.Figure)
 	case JobPoints:
 		return len(s.Points), nil
+	case JobScale:
+		return 1, nil
 	}
 	return 0, fmt.Errorf("config: unknown job kind %q", s.Kind)
 }

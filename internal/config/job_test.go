@@ -63,6 +63,39 @@ func TestJobPointsRoundTrip(t *testing.T) {
 	}
 }
 
+func TestJobScaleRoundTrip(t *testing.T) {
+	s := JobSpec{
+		Kind:    JobScale,
+		Scale:   &ScaleSpec{Preset: "small", Sites: 40, NumTasks: 9000, Policy: experiments.Greedy, Seed: 7},
+		Profile: experiments.DefaultProfile(),
+	}
+	data, err := MarshalJob(s)
+	if err != nil {
+		t.Fatalf("MarshalJob: %v", err)
+	}
+	got, err := UnmarshalJob(data)
+	if err != nil {
+		t.Fatalf("UnmarshalJob: %v", err)
+	}
+	if got.Scale == nil || got.Scale.Preset != "small" || got.Scale.Sites != 40 || got.Scale.Seed != 7 {
+		t.Fatalf("round trip lost scale block: %+v", got.Scale)
+	}
+	n, err := got.TotalPoints()
+	if err != nil || n != 1 {
+		t.Fatalf("TotalPoints = %d, %v; want 1, nil", n, err)
+	}
+	c, err := got.Scale.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sites != 40 || c.NumTasks != 9000 || c.Policy != experiments.Greedy || c.Seed != 7 {
+		t.Fatalf("overrides not applied: %+v", c)
+	}
+	if c.NodesPerSite == 0 || c.Load == 0 {
+		t.Fatalf("preset defaults lost: %+v", c)
+	}
+}
+
 func TestJobUnmarshalDefaultsForOmittedProfileFields(t *testing.T) {
 	got, err := UnmarshalJob([]byte(`{"kind": "figure", "figure": "7", "profile": {"SizeScale": 2.5}}`))
 	if err != nil {
@@ -108,6 +141,12 @@ func TestJobUnmarshalRejectsMalformedSpecs(t *testing.T) {
 		"negative workers":   `{"kind": "figure", "figure": "7", "profile": {"Workers": -1}}`,
 		"negative timeout":   `{"kind": "figure", "figure": "7", "timeout_sec": -1}`,
 		"negative retries":   `{"kind": "figure", "figure": "7", "max_retries": -1}`,
+		"scale no block":     `{"kind": "scale"}`,
+		"scale bad preset":   `{"kind": "scale", "scale": {"preset": "galactic"}}`,
+		"scale bad policy":   `{"kind": "scale", "scale": {"preset": "small", "policy": "bogus"}}`,
+		"scale with figure":  `{"kind": "scale", "figure": "7", "scale": {"preset": "small"}}`,
+		"scale with points":  `{"kind": "scale", "points": [{"Policy": "greedy", "NumTasks": 10}], "scale": {"preset": "small"}}`,
+		"figure with scale":  `{"kind": "figure", "figure": "7", "scale": {"preset": "small"}}`,
 	}
 	for name, c := range cases {
 		if _, err := UnmarshalJob([]byte(c)); err == nil {

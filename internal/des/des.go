@@ -1,17 +1,18 @@
 // Package des implements a deterministic discrete-event simulation engine.
 //
-// The engine maintains a virtual clock and a priority queue of timestamped
-// events. Events scheduled for the same instant are executed in FIFO order
-// of scheduling (a monotone sequence number breaks ties), which makes runs
-// bit-for-bit reproducible for a fixed seed regardless of map iteration or
-// goroutine scheduling — the engine is strictly single-threaded.
+// The engine maintains a virtual clock and a calendar queue of timestamped
+// events (see calendar.go — amortised O(1) insert/pop, so multi-million-event
+// runs do not pay a log-factor per event). Events scheduled for the same
+// instant are executed in FIFO order of scheduling (a monotone sequence
+// number breaks ties), which makes runs bit-for-bit reproducible for a fixed
+// seed regardless of map iteration or goroutine scheduling — the engine is
+// strictly single-threaded.
 //
 // The paper's evaluation (ICPP'11, §V) is a pure simulation study; this
 // package is the substrate every experiment runs on.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -35,7 +36,7 @@ type EventFunc func(sim *Simulator)
 // Fire implements Event.
 func (f EventFunc) Fire(sim *Simulator) { f(sim) }
 
-// Handle identifies a scheduled event and allows cancellation. Heap items
+// Handle identifies a scheduled event and allows cancellation. Queue items
 // are recycled once fired or reaped, so the handle carries the item's
 // generation: a stale handle (whose item has been reused for a later
 // event) is inert rather than aliasing the new event.
@@ -52,56 +53,26 @@ func (h Handle) Cancelled() bool {
 // Valid reports whether the handle refers to a scheduled event.
 func (h Handle) Valid() bool { return h.item != nil }
 
-// item is a heap entry.
+// item is a calendar-queue entry.
 type item struct {
 	at        Time
 	seq       uint64
 	gen       uint64
 	ev        Event
 	cancelled bool
-	index     int // heap index, -1 once popped
-}
-
-// eventHeap orders by (time, seq).
-type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	it := x.(*item)
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*h = old[:n-1]
-	return it
+	queued    bool // in the calendar (not yet popped or reaped)
 }
 
 // Simulator owns the virtual clock and the pending-event queue.
 type Simulator struct {
 	now      Time
 	seq      uint64
-	queue    eventHeap
+	cal      calendar
 	fired    uint64
 	maxQueue int
 	stopped  bool
 
-	// free recycles popped heap items so steady-state scheduling does not
+	// free recycles popped queue items so steady-state scheduling does not
 	// allocate (a simulation fires millions of events; see item.gen for
 	// how stale Handles stay safe).
 	free []*item
@@ -120,15 +91,7 @@ func New() *Simulator {
 func (s *Simulator) Now() Time { return s.now }
 
 // Pending returns the number of scheduled, uncancelled events.
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, it := range s.queue {
-		if !it.cancelled {
-			n++
-		}
-	}
-	return n
-}
+func (s *Simulator) Pending() int { return s.cal.live }
 
 // Fired returns the number of events executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
@@ -156,9 +119,9 @@ func (s *Simulator) At(at Time, ev Event) Handle {
 		it = &item{at: at, seq: s.seq, ev: ev}
 	}
 	s.seq++
-	heap.Push(&s.queue, it)
-	if len(s.queue) > s.maxQueue {
-		s.maxQueue = len(s.queue)
+	s.cal.insert(it)
+	if s.cal.total > s.maxQueue {
+		s.maxQueue = s.cal.total
 	}
 	return Handle{item: it, gen: it.gen}
 }
@@ -192,12 +155,18 @@ func (s *Simulator) AfterFunc(delay Time, f func(sim *Simulator)) Handle {
 
 // Cancel marks the event behind h so that it will not fire. Cancelling an
 // already-fired or already-cancelled event is a no-op. Returns whether the
-// event was actually cancelled by this call.
+// event was actually cancelled by this call. Cancelled entries are lazily
+// dropped when popped, and eagerly reaped in bulk once they outnumber the
+// live entries, so cancel-heavy runs do not accumulate dead events.
 func (s *Simulator) Cancel(h Handle) bool {
-	if h.item == nil || h.gen != h.item.gen || h.item.cancelled || h.item.index == -1 {
+	if h.item == nil || h.gen != h.item.gen || h.item.cancelled || !h.item.queued {
 		return false
 	}
 	h.item.cancelled = true
+	s.cal.noteCancelled()
+	if s.cal.needsReap() {
+		s.cal.reap(s.release)
+	}
 	return true
 }
 
@@ -210,20 +179,23 @@ func (s *Simulator) Stopped() bool { return s.stopped }
 // Step fires the single next event, advancing the clock. It returns false
 // when the queue is empty (skipping over cancelled entries).
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		it := heap.Pop(&s.queue).(*item)
+	for {
+		it := s.cal.popMin()
+		if it == nil {
+			return false
+		}
 		if it.cancelled {
 			s.release(it)
 			continue
 		}
 		s.now = it.at
+		s.cal.advanceTo(s.now)
 		s.fired++
 		ev := it.ev
 		s.release(it)
 		ev.Fire(s)
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue drains, Stop is called, or MaxEvents
@@ -262,20 +234,25 @@ func (s *Simulator) RunUntil(deadline Time) uint64 {
 	if s.now < deadline {
 		s.now = deadline
 	}
+	s.cal.advanceTo(s.now)
 	return s.fired - start
 }
 
-// peekTime returns the timestamp of the next uncancelled event.
+// peekTime returns the timestamp of the next uncancelled event, dropping
+// cancelled entries it encounters at the front.
 func (s *Simulator) peekTime() (Time, bool) {
-	for len(s.queue) > 0 {
-		it := s.queue[0]
+	for {
+		it, idx := s.cal.findMin()
+		if it == nil {
+			return 0, false
+		}
 		if it.cancelled {
-			s.release(heap.Pop(&s.queue).(*item))
+			s.cal.removeMin(it, idx)
+			s.release(it)
 			continue
 		}
 		return it.at, true
 	}
-	return 0, false
 }
 
 // NextEventTime exposes peekTime for callers that pace external work.

@@ -93,10 +93,15 @@ func Delta(earlier, later Snapshot) Snapshot {
 
 // Accountant samples a platform over a simulation run and retains an
 // energy/utilisation time series for reporting (Figures 8–12 all derive
-// from it).
+// from it). The lite variant (NewAccountantLite) keeps only the latest
+// sample — and skips the per-node energy map entirely — so sampling a
+// multi-thousand-node platform every tick of a long run costs O(1)
+// retained memory; series-derived views (EnergyBetween, PowerSeries,
+// PeakPower) then degenerate to the final state.
 type Accountant struct {
 	pl      *platform.Platform
 	samples []Snapshot
+	lite    bool
 }
 
 // NewAccountant creates an accountant for the platform and records an
@@ -107,8 +112,26 @@ func NewAccountant(pl *platform.Platform) *Accountant {
 	return a
 }
 
+// NewAccountantLite creates a retain-last-only accountant for
+// large-scale runs.
+func NewAccountantLite(pl *platform.Platform) *Accountant {
+	a := &Accountant{pl: pl, lite: true}
+	a.Sample(0)
+	return a
+}
+
 // Sample records a snapshot at time now and returns it.
 func (a *Accountant) Sample(now float64) Snapshot {
+	if a.lite {
+		a.pl.AdvanceAll(now)
+		s := Snapshot{At: now, Total: a.pl.TotalEnergy(), MeanUtilization: a.pl.MeanUtilization()}
+		if len(a.samples) == 0 {
+			a.samples = append(a.samples, s)
+		} else {
+			a.samples[0] = s
+		}
+		return s
+	}
 	s := Take(a.pl, now)
 	a.samples = append(a.samples, s)
 	return s

@@ -112,7 +112,13 @@ func (e Experience) LVal() float64 {
 type Shared struct {
 	capacity int
 	perAgent map[int][]Experience
-	total    uint64
+	// ringMax caches each ring's maximum l_val, letting Best/BestFor
+	// skip whole rings that cannot improve on the running best. With
+	// thousands of agents a lookup would otherwise evaluate every
+	// retained experience — including an Exp call per entry in BestFor —
+	// on every reward regression.
+	ringMax map[int]float64
+	total   uint64
 	// lookups/hits count Best/BestFor calls and how many found an
 	// experience — the shared-memory hit rate probes report.
 	lookups uint64
@@ -128,7 +134,11 @@ func NewSharedWithCapacity(capacity int) *Shared {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("memory: capacity must be positive, got %d", capacity))
 	}
-	return &Shared{capacity: capacity, perAgent: make(map[int][]Experience)}
+	return &Shared{
+		capacity: capacity,
+		perAgent: make(map[int][]Experience),
+		ringMax:  make(map[int]float64),
+	}
 }
 
 // Capacity returns the per-agent bound.
@@ -142,7 +152,15 @@ func (m *Shared) Record(e Experience) {
 		copy(ring, ring[1:])
 		ring = ring[:len(ring)-1]
 	}
-	m.perAgent[e.AgentID] = append(ring, e)
+	ring = append(ring, e)
+	m.perAgent[e.AgentID] = ring
+	max := math.Inf(-1)
+	for _, r := range ring {
+		if v := r.LVal(); v > max {
+			max = v
+		}
+	}
+	m.ringMax[e.AgentID] = max
 	m.total++
 }
 
@@ -176,7 +194,13 @@ func (m *Shared) Best() (Experience, bool) {
 	var best Experience
 	bestV := math.Inf(-1)
 	found := false
-	for _, ring := range m.perAgent {
+	for id, ring := range m.perAgent {
+		// A ring whose maximum l_val cannot strictly beat the running
+		// best holds no winner (selection uses strict >), so skip it —
+		// the pruning that keeps lookups cheap at thousands of agents.
+		if found && m.ringMax[id] <= bestV {
+			continue
+		}
 		for _, e := range ring {
 			if v := e.LVal(); v > bestV || (!found && v == bestV) {
 				best, bestV, found = e, v, true
@@ -197,7 +221,14 @@ func (m *Shared) BestFor(s State) (Experience, bool) {
 	var best Experience
 	bestV := math.Inf(-1)
 	found := false
-	for _, ring := range m.perAgent {
+	for id, ring := range m.perAgent {
+		// Similarity lies in (0, 1], so sim·l_val is bounded above by
+		// the ring's maximum l_val when positive and by 0 otherwise;
+		// rings that cannot strictly beat the running best are skipped
+		// without evaluating a single similarity.
+		if found && math.Max(m.ringMax[id], 0) <= bestV {
+			continue
+		}
 		for _, e := range ring {
 			if v := e.State.Similarity(s) * e.LVal(); v > bestV || (!found && v == bestV) {
 				best, bestV, found = e, v, true

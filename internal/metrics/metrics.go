@@ -52,9 +52,13 @@ type CycleRecord struct {
 	CumCapDemand  float64
 }
 
-// Collector accumulates a single simulation run's observations.
+// Collector accumulates a single simulation run's observations. It runs
+// in one of two modes: the default retains every record (exact, O(tasks)
+// memory), while streaming mode (NewStreamingCollector) aggregates on
+// the fly in constant memory — see streaming.go.
 type Collector struct {
 	numProcessors int
+	streaming     bool
 
 	tasks  []TaskRecord
 	groups []GroupRecord
@@ -63,6 +67,20 @@ type Collector struct {
 	rt      stats.Accumulator
 	wait    stats.Accumulator
 	success int
+
+	// Streaming-mode aggregates, unused otherwise.
+	completedCount int
+	prioTotal      [len(workload.Priorities)]int
+	prioHits       [len(workload.Priorities)]int
+	groupTasks     int
+	groupReward    int
+	lval           stats.Accumulator
+	gsize          stats.Accumulator
+	rtHist         rtHistogram
+	lastCycleAt    float64
+	haveCycle      bool
+	cycleSeen      int
+	cycleStride    int
 }
 
 // NewCollector creates a collector for a platform with the given processor
@@ -76,22 +94,46 @@ func NewCollector(numProcessors int) *Collector {
 
 // RecordTask logs one task completion.
 func (c *Collector) RecordTask(r TaskRecord) {
-	c.tasks = append(c.tasks, r)
 	c.rt.Add(r.ResponseTime)
 	c.wait.Add(r.WaitTime)
 	if r.MetDeadline {
 		c.success++
 	}
+	if c.streaming {
+		c.completedCount++
+		c.prioTotal[r.Priority]++
+		if r.MetDeadline {
+			c.prioHits[r.Priority]++
+		}
+		c.rtHist.add(r.ResponseTime)
+		return
+	}
+	c.tasks = append(c.tasks, r)
 }
 
 // RecordGroup logs one group completion.
 func (c *Collector) RecordGroup(r GroupRecord) {
+	if c.streaming {
+		c.groupTasks += r.Size
+		c.groupReward += r.Reward
+		c.lval.Add(r.LVal)
+		c.gsize.Add(float64(r.Size))
+		return
+	}
 	c.groups = append(c.groups, r)
 }
 
 // RecordCycle logs one learning cycle. Records must arrive in
 // non-decreasing time order (the DES guarantees this).
 func (c *Collector) RecordCycle(at, cumBusyTime, cumBusyDemand, cumCapDemand float64) {
+	if c.streaming {
+		if c.haveCycle && at < c.lastCycleAt {
+			panic(fmt.Sprintf("metrics: cycle times not monotone: %g after %g", at, c.lastCycleAt))
+		}
+		c.haveCycle, c.lastCycleAt = true, at
+		c.recordCycleStreaming(at, cumBusyTime, cumBusyDemand, cumCapDemand)
+		return
+	}
 	if n := len(c.cycles); n > 0 && at < c.cycles[n-1].At {
 		panic(fmt.Sprintf("metrics: cycle times not monotone: %g after %g", at, c.cycles[n-1].At))
 	}
@@ -101,17 +143,23 @@ func (c *Collector) RecordCycle(at, cumBusyTime, cumBusyDemand, cumCapDemand flo
 	})
 }
 
-// Tasks returns the recorded task completions.
+// Tasks returns the recorded task completions (empty in streaming mode).
 func (c *Collector) Tasks() []TaskRecord { return c.tasks }
 
-// Groups returns the recorded group completions.
+// Groups returns the recorded group completions (empty in streaming mode).
 func (c *Collector) Groups() []GroupRecord { return c.groups }
 
-// Cycles returns the learning-cycle records.
+// Cycles returns the learning-cycle records (a bounded uniformly strided
+// subset in streaming mode).
 func (c *Collector) Cycles() []CycleRecord { return c.cycles }
 
 // Completed returns the number of completed tasks.
-func (c *Collector) Completed() int { return len(c.tasks) }
+func (c *Collector) Completed() int {
+	if c.streaming {
+		return c.completedCount
+	}
+	return len(c.tasks)
+}
 
 // AveRT implements Eq. 4: the mean of (waiting + execution) time over
 // completed tasks.
@@ -132,9 +180,13 @@ func (c *Collector) SuccessRate(submitted int) float64 {
 // DeadlineHits returns the raw number of tasks that met their deadline.
 func (c *Collector) DeadlineHits() int { return c.success }
 
-// RTPercentile returns a response-time percentile over completed tasks.
-// It returns 0 when nothing completed.
+// RTPercentile returns a response-time percentile over completed tasks
+// (approximate in streaming mode, exact otherwise). It returns 0 when
+// nothing completed.
 func (c *Collector) RTPercentile(p float64) float64 {
+	if c.streaming {
+		return c.rtHist.percentile(p)
+	}
 	if len(c.tasks) == 0 {
 		return 0
 	}
@@ -148,6 +200,15 @@ func (c *Collector) RTPercentile(p float64) float64 {
 // SuccessByPriority breaks the deadline-hit rate down per priority class
 // over completed tasks.
 func (c *Collector) SuccessByPriority() map[workload.Priority]float64 {
+	if c.streaming {
+		out := make(map[workload.Priority]float64)
+		for _, p := range workload.Priorities {
+			if n := c.prioTotal[p]; n > 0 {
+				out[p] = float64(c.prioHits[p]) / float64(n)
+			}
+		}
+		return out
+	}
 	hits := map[workload.Priority]int{}
 	totals := map[workload.Priority]int{}
 	for _, t := range c.tasks {
@@ -165,6 +226,9 @@ func (c *Collector) SuccessByPriority() map[workload.Priority]float64 {
 
 // MeanGroupLVal returns the average learning value across completed groups.
 func (c *Collector) MeanGroupLVal() float64 {
+	if c.streaming {
+		return c.lval.Mean()
+	}
 	var a stats.Accumulator
 	for _, g := range c.groups {
 		a.Add(g.LVal)
@@ -175,6 +239,9 @@ func (c *Collector) MeanGroupLVal() float64 {
 // MeanGroupSize returns the average group size — how the adaptive opnum
 // settled.
 func (c *Collector) MeanGroupSize() float64 {
+	if c.streaming {
+		return c.gsize.Mean()
+	}
 	var a stats.Accumulator
 	for _, g := range c.groups {
 		a.Add(float64(g.Size))
@@ -262,7 +329,19 @@ func (c *Collector) CumulativeUtilizationByCycleFraction(buckets int) []float64 
 }
 
 // Validate cross-checks collector invariants (used in integration tests).
+// Streaming mode validates the counter-based equivalents.
 func (c *Collector) Validate() error {
+	if c.streaming {
+		switch {
+		case c.success > c.completedCount:
+			return fmt.Errorf("metrics: %d successes > %d completions", c.success, c.completedCount)
+		case c.groupTasks != c.completedCount:
+			return fmt.Errorf("metrics: groups cover %d tasks, %d completed", c.groupTasks, c.completedCount)
+		case c.groupReward != c.success:
+			return fmt.Errorf("metrics: group rewards sum to %d, task successes %d", c.groupReward, c.success)
+		}
+		return nil
+	}
 	if c.success > len(c.tasks) {
 		return fmt.Errorf("metrics: %d successes > %d completions", c.success, len(c.tasks))
 	}

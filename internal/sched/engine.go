@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"rlsched/internal/des"
 	"rlsched/internal/energy"
@@ -75,6 +76,16 @@ type Config struct {
 	// Runtime-only, like Tracer: a nil Probe costs nothing, and sampling
 	// never changes simulation outcomes — only the DES event count.
 	Probe *probe.Recorder `json:"-"`
+	// LowMemory switches the run to streaming observation so memory stays
+	// O(active tasks + aggregate statistics) regardless of workload length:
+	// metric records are aggregated instead of retained (Collector.Tasks/
+	// Groups return nothing, RTPercentile becomes approximate), the energy
+	// accountant keeps only its latest sample, and learning-cycle
+	// utilisation bookkeeping is O(1) per cycle instead of
+	// O(processors+nodes). Required for multi-million-task scale runs;
+	// leave off to keep full per-task records and byte-identical historical
+	// results.
+	LowMemory bool
 }
 
 // DefaultConfig returns the engine defaults.
@@ -150,13 +161,16 @@ type Result struct {
 }
 
 // Engine wires a platform, a workload and a policy into a discrete-event
-// simulation run.
+// simulation run. Tasks are pulled lazily from a workload.Source as the
+// simulation clock reaches them, so the engine never holds the whole
+// workload: a finished task is unreachable once its group's feedback is
+// delivered, and memory stays proportional to the active set.
 type Engine struct {
 	cfg    Config
 	sim    *des.Simulator
 	pl     *platform.Platform
 	policy Policy
-	tasks  []*workload.Task
+	src    workload.Source
 
 	agents   []*Agent
 	mem      *memory.Shared
@@ -168,9 +182,8 @@ type Engine struct {
 	queues     [][]*grouping.Group // by node ID
 	accts      []nodeAcct          // by node ID
 	retries    [][]retryEntry      // by node ID: aborted executions awaiting re-dispatch
-	taskGroup  map[int]*grouping.Group
-	groupAgent map[int]*Agent
-	running    []runningTask // by processor ID; an entry is live while task != nil
+	groupAgent map[int]*Agent      // open groups only; entries are deleted on completion
+	running    []runningTask       // by processor ID; an entry is live while task != nil
 
 	// Per-decision scratch reused across scheduling events so the hot path
 	// stays allocation-free: candBuf backs the candidate slice handed to
@@ -187,13 +200,25 @@ type Engine struct {
 	rngRoute    *rng.Stream
 	rngFail     *rng.Stream
 	siteWeights []float64
+	// sitePrefix holds cumulative site weights when the platform has more
+	// than routeScanMax sites: arrival routing then draws one uniform (the
+	// same stream consumption as WeightedChoice) and binary-searches in
+	// O(log sites) instead of scanning. Small platforms keep the linear
+	// scan so historical results stay float-for-float identical.
+	sitePrefix []float64
+	siteTotal  float64
+
+	// lite, when non-nil (LowMemory), maintains the recordCycle integrals
+	// incrementally so a learning cycle costs O(1).
+	lite *liteUtil
 
 	nextGroupID int
+	submitted   int
+	srcDone     bool
 	completed   int
 	failures    int
 	restarts    int
 	arrivalsEnd float64
-	finished    bool
 
 	// Per-run instrumentation tallies (see RunStats). Plain fields on the
 	// single-threaded event loop: incrementing them allocates nothing.
@@ -203,16 +228,18 @@ type Engine struct {
 	statGroupTasks uint64
 }
 
-// New builds an engine. The platform must validate; the workload must be
-// non-empty and in arrival order; r seeds the engine's internal streams
-// (routing, policy exploration).
+// routeScanMax is the site count up to which arrival routing keeps the
+// historical linear WeightedChoice scan. Beyond it the engine switches to
+// a prefix-sum binary search — same stream consumption, same
+// distribution, O(log sites) per arrival — which large-scale platforms
+// need but whose float comparisons are not bit-identical to the scan.
+const routeScanMax = 64
+
+// New builds an engine over a materialised workload. The platform must
+// validate; the workload must be non-empty and in arrival order; r seeds
+// the engine's internal streams (routing, policy exploration). It is a
+// thin adapter over NewFromSource.
 func New(cfg Config, pl *platform.Platform, tasks []*workload.Task, policy Policy, r *rng.Stream) (*Engine, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if err := pl.Validate(); err != nil {
-		return nil, err
-	}
 	if len(tasks) == 0 {
 		return nil, fmt.Errorf("sched: empty workload")
 	}
@@ -221,19 +248,48 @@ func New(cfg Config, pl *platform.Platform, tasks []*workload.Task, policy Polic
 			return nil, fmt.Errorf("sched: workload not in arrival order at index %d", i)
 		}
 	}
+	e, err := NewFromSource(cfg, pl, workload.FromSlice(tasks), policy, r)
+	if err != nil {
+		return nil, err
+	}
+	// The task count is known here, so the event-loop guard can start at
+	// its final value (NewFromSource grows it as tasks stream in).
+	if cfg.MaxEvents == 0 {
+		e.sim.MaxEvents = uint64(len(tasks))*1000 + 1_000_000
+	}
+	return e, nil
+}
+
+// NewFromSource builds an engine that pulls tasks lazily from a
+// streaming source, holding O(active tasks) memory regardless of how
+// many tasks the source will yield. The source must yield tasks in
+// non-decreasing arrival order (checked as they stream; a violation
+// surfaces as an *InvariantError from Run). An empty source is also
+// reported by Run, since it cannot be detected without consuming.
+func NewFromSource(cfg Config, pl *platform.Platform, src workload.Source, policy Policy, r *rng.Stream) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		cfg:        cfg,
 		sim:        des.New(),
 		pl:         pl,
 		policy:     policy,
-		tasks:      tasks,
+		src:        src,
 		mem:        memory.NewShared(),
-		col:        metrics.NewCollector(pl.NumProcessors()),
 		maxOpnum:   pl.MaxProcsPerNode(),
-		taskGroup:  make(map[int]*grouping.Group, len(tasks)),
 		groupAgent: make(map[int]*Agent),
 		rngRoute:   r.Split("route"),
 		rngFail:    r.Split("failures"),
+	}
+	if cfg.LowMemory {
+		e.col = metrics.NewStreamingCollector(pl.NumProcessors())
+		e.lite = &liteUtil{}
+	} else {
+		e.col = metrics.NewCollector(pl.NumProcessors())
 	}
 	maxProcID := 0
 	for _, p := range pl.Processors() {
@@ -266,14 +322,28 @@ func New(cfg Config, pl *platform.Platform, tasks []*workload.Task, policy Polic
 			e.siteWeights[i] += n.TotalSpeed()
 		}
 	}
+	if len(e.siteWeights) > routeScanMax {
+		e.sitePrefix = make([]float64, len(e.siteWeights))
+		sum := 0.0
+		for i, w := range e.siteWeights {
+			sum += w
+			e.sitePrefix[i] = sum
+		}
+		e.siteTotal = sum
+	}
 	e.ctx = &Context{engine: e, Rand: r.Split("policy"), Memory: e.mem}
-	e.acct = energy.NewAccountant(pl)
-	// Guard: generous bound relative to task count.
+	if cfg.LowMemory {
+		e.acct = energy.NewAccountantLite(pl)
+	} else {
+		e.acct = energy.NewAccountant(pl)
+	}
+	// Guard against scheduling loops: a generous bound relative to the
+	// tasks streamed in so far, raised as arrivals are pulled (New starts
+	// it at its final value when the count is known up front).
 	e.sim.MaxEvents = cfg.MaxEvents
 	if e.sim.MaxEvents == 0 {
-		e.sim.MaxEvents = uint64(len(tasks))*1000 + 1_000_000
+		e.sim.MaxEvents = 1_000_000
 	}
-	e.arrivalsEnd = tasks[len(tasks)-1].ArrivalTime
 	return e, nil
 }
 
@@ -331,9 +401,9 @@ func (e *Engine) Run() (res Result, err error) {
 		}
 	}()
 	e.policy.Init(e.ctx)
-	for _, t := range e.tasks {
-		t := t
-		e.sim.AtFunc(t.ArrivalTime, func(*des.Simulator) { e.onArrival(t) })
+	e.scheduleNextArrival()
+	if e.srcDone && e.submitted == 0 {
+		return Result{}, fmt.Errorf("sched: empty workload")
 	}
 	e.sim.AfterFunc(e.cfg.GroupCloseTimeout/2, e.houseKeep)
 	e.sim.AfterFunc(e.cfg.TickInterval, e.tick)
@@ -348,11 +418,37 @@ func (e *Engine) Run() (res Result, err error) {
 		e.attachProbes()
 	}
 	e.sim.Run()
-	if e.completed != len(e.tasks) {
+	if !e.done() {
 		return Result{}, &InvariantError{Policy: e.policy.Name(),
-			Msg: fmt.Sprintf("run ended with %d/%d tasks completed", e.completed, len(e.tasks))}
+			Msg: fmt.Sprintf("run ended with %d/%d tasks completed", e.completed, e.submitted)}
 	}
 	return e.buildResult(), nil
+}
+
+// scheduleNextArrival pulls the next task from the source and schedules
+// its arrival event. Exactly one arrival is in flight at any instant —
+// the chain re-arms itself when the event fires — so pending arrivals
+// never accumulate in the event queue no matter how long the source is.
+func (e *Engine) scheduleNextArrival() {
+	t, ok := e.src.Next()
+	if !ok {
+		e.srcDone = true
+		return
+	}
+	if e.submitted > 0 && t.ArrivalTime < e.arrivalsEnd {
+		e.invariantf("workload not in arrival order: task %d at %g after %g",
+			t.ID, t.ArrivalTime, e.arrivalsEnd)
+	}
+	e.submitted++
+	e.arrivalsEnd = t.ArrivalTime
+	// Keep the runaway guard proportional to the streamed task count.
+	if b := uint64(e.submitted)*1000 + 1_000_000; e.cfg.MaxEvents == 0 && b > e.sim.MaxEvents {
+		e.sim.MaxEvents = b
+	}
+	e.sim.AtFunc(t.ArrivalTime, func(*des.Simulator) {
+		e.scheduleNextArrival()
+		e.onArrival(t)
+	})
 }
 
 // MustRun is Run that panics on an invariant error, for callers (tests,
@@ -370,13 +466,13 @@ func (e *Engine) buildResult() Result {
 	e.acct.Sample(end)
 	res := Result{
 		Policy:          e.policy.Name(),
-		Submitted:       len(e.tasks),
+		Submitted:       e.submitted,
 		Completed:       e.completed,
 		DeadlineHits:    e.col.DeadlineHits(),
 		AveRT:           e.col.AveRT(),
 		MeanWait:        e.col.MeanWait(),
 		ECS:             e.pl.TotalEnergy(),
-		SuccessRate:     e.col.SuccessRate(len(e.tasks)),
+		SuccessRate:     e.col.SuccessRate(e.submitted),
 		MeanUtilization: e.pl.MeanUtilization(),
 		EndTime:         end,
 		UtilWindows:     e.col.UtilizationByCycleFraction(10),
@@ -415,6 +511,39 @@ func (e *Engine) buildResult() Result {
 // results to unprobed ones.
 func (e *Engine) attachProbes() {
 	rec := e.cfg.Probe
+	if len(e.agents) > routeScanMax {
+		// Thousands of per-site series would dwarf the data they describe;
+		// large platforms get platform-wide aggregates instead.
+		rec.Register(probe.FamilyQueue, "sites.queue_depth", "groups", func() float64 {
+			n := 0
+			for _, q := range e.queues {
+				n += len(q)
+			}
+			return float64(n)
+		})
+		rec.Register(probe.FamilyQueue, "sites.backlog", "groups", func() float64 {
+			n := 0
+			for _, ag := range e.agents {
+				n += ag.BacklogLen()
+			}
+			return float64(n)
+		})
+		rec.Register(probe.FamilyUtil, "sites.utilization", "fraction", func() float64 {
+			busy, total := 0, 0
+			for _, p := range e.pl.Processors() {
+				total++
+				if p.State() == platform.StateBusy {
+					busy++
+				}
+			}
+			if total == 0 {
+				return 0
+			}
+			return float64(busy) / float64(total)
+		})
+		e.attachGlobalProbes(rec)
+		return
+	}
 	for _, ag := range e.agents {
 		ag := ag
 		site := ag.Site
@@ -444,6 +573,12 @@ func (e *Engine) attachProbes() {
 			return float64(busy) / float64(total)
 		})
 	}
+	e.attachGlobalProbes(rec)
+}
+
+// attachGlobalProbes registers the platform-wide series shared by both
+// probe layouts and starts the recorder's sampling event.
+func (e *Engine) attachGlobalProbes(rec *probe.Recorder) {
 	rec.Register(probe.FamilyPower, "power.draw", "W", func() float64 {
 		w := 0.0
 		for _, p := range e.pl.Processors() {
@@ -466,9 +601,25 @@ func (e *Engine) attachProbes() {
 	rec.Start(e.sim)
 }
 
+// routeSite draws the destination site for an arrival, proportionally to
+// site capacity. Platforms over routeScanMax sites use the prefix-sum
+// binary search; both branches consume exactly one uniform draw from the
+// routing stream.
+func (e *Engine) routeSite() *Agent {
+	if e.sitePrefix == nil {
+		return e.agents[e.rngRoute.WeightedChoice(e.siteWeights)]
+	}
+	x := e.rngRoute.Float64() * e.siteTotal
+	i := sort.Search(len(e.sitePrefix), func(k int) bool { return e.sitePrefix[k] > x })
+	if i >= len(e.agents) {
+		i = len(e.agents) - 1
+	}
+	return e.agents[i]
+}
+
 // onArrival routes a task to a site agent and merges it.
 func (e *Engine) onArrival(t *workload.Task) {
-	ag := e.agents[e.rngRoute.WeightedChoice(e.siteWeights)]
+	ag := e.routeSite()
 	if e.tracing(trace.LevelDebug) {
 		e.emit(trace.LevelDebug, "arrival", trace.F("task", t.ID), trace.F("agent", ag.ID), trace.F("prio", t.Priority.String()))
 	}
@@ -506,7 +657,10 @@ func (e *Engine) tick(*des.Simulator) {
 	}
 }
 
-func (e *Engine) done() bool { return e.completed == len(e.tasks) }
+// done reports run completion: the source is drained and every streamed
+// task finished. A task pulled but not yet arrived cannot have finished,
+// so this never trips early while an arrival is still in flight.
+func (e *Engine) done() bool { return e.srcDone && e.completed == e.submitted }
 
 // runningTask records an in-flight execution so node views can report the
 // remaining in-flight work exactly and failures can abort it.
@@ -555,6 +709,58 @@ func (e *Engine) touchAcct(node *platform.Node) *nodeAcct {
 		a.lastT = now
 	}
 	return a
+}
+
+// acctDelta applies a busy/undispatched change to a node's account. In
+// low-memory mode it also folds the node's engagement transition into the
+// global O(1) integrals that replace the per-node recordCycle sweep.
+func (e *Engine) acctDelta(node *platform.Node, dBusy, dUndisp int) {
+	a := e.touchAcct(node)
+	if e.lite == nil {
+		a.busy += dBusy
+		a.undispatched += dUndisp
+		return
+	}
+	e.lite.advance(e.sim.Now())
+	if a.busy+a.undispatched > 0 {
+		e.lite.busyEngaged -= a.busy
+		e.lite.engagedCap -= node.NumProcessors()
+	}
+	e.lite.busyCount += dBusy
+	a.busy += dBusy
+	a.undispatched += dUndisp
+	if a.busy+a.undispatched > 0 {
+		e.lite.busyEngaged += a.busy
+		e.lite.engagedCap += node.NumProcessors()
+	}
+}
+
+// liteUtil is the low-memory replacement for the recordCycle platform
+// sweep: the same three cumulative integrals (busy processor-time, and
+// the engaged-node busy/capacity demands behind the Figures 9/10
+// utilisation rate), maintained incrementally at every dispatch
+// transition so reading them at a cycle boundary is O(1).
+type liteUtil struct {
+	lastT float64
+	// busyCount is the number of busy processors platform-wide;
+	// busyEngaged and engagedCap are the busy and total processor counts
+	// summed over engaged nodes (those with running or queued work).
+	busyCount   int
+	busyEngaged int
+	engagedCap  int
+	busyTime    float64
+	busyDemand  float64
+	capDemand   float64
+}
+
+// advance folds the elapsed interval into the integrals.
+func (u *liteUtil) advance(now float64) {
+	if dt := now - u.lastT; dt > 0 {
+		u.busyTime += float64(u.busyCount) * dt
+		u.busyDemand += float64(u.busyEngaged) * dt
+		u.capDemand += float64(u.engagedCap) * dt
+	}
+	u.lastT = now
 }
 
 // queuedWeight sums Eq. 10 processing weights over a node's queued groups.
@@ -677,12 +883,9 @@ func (e *Engine) enqueue(ag *Agent, g *grouping.Group, node *platform.Node) {
 	g.NodeID = node.ID
 	g.EnqueuedAt = now
 	g.ErrTG = grouping.ErrTGFor(g.PW(), node.Capacity())
-	e.touchAcct(node).undispatched += g.Len()
+	e.acctDelta(node, 0, g.Len())
 	e.queues[node.ID] = append(e.queues[node.ID], g)
 	e.groupAgent[g.ID] = ag
-	for _, t := range g.Tasks {
-		e.taskGroup[t.ID] = g
-	}
 	if e.tracing(trace.LevelInfo) {
 		e.emit(trace.LevelInfo, "enqueue",
 			trace.F("group", g.ID), trace.F("node", node.ID), trace.F("size", g.Len()), trace.F("errtg", g.ErrTG))
@@ -798,9 +1001,7 @@ func (e *Engine) idleProcs(node *platform.Node) []*platform.Processor {
 func (e *Engine) startTask(node *platform.Node, proc *platform.Processor, g *grouping.Group, task *workload.Task, retry bool) {
 	now := e.sim.Now()
 	e.statTasks++
-	acct := e.touchAcct(node)
-	acct.busy++
-	acct.undispatched--
+	e.acctDelta(node, 1, -1)
 	if e.cfg.DVFSLazy {
 		proc.SetThrottle(e.lazyThrottle(proc, task, now), now)
 	}
@@ -839,7 +1040,7 @@ func (e *Engine) lazyThrottle(proc *platform.Processor, task *workload.Task, now
 func (e *Engine) finishTask(node *platform.Node, proc *platform.Processor, g *grouping.Group, task *workload.Task) {
 	now := e.sim.Now()
 	e.running[proc.ID] = runningTask{}
-	e.touchAcct(node).busy--
+	e.acctDelta(node, -1, 0)
 	task.FinishTime = now
 	proc.NoteTaskRun()
 	if e.cfg.DVFSLazy {
@@ -895,6 +1096,7 @@ func (e *Engine) completeGroup(g *grouping.Group, node *platform.Node) {
 	}
 	now := e.sim.Now()
 	ag := e.groupAgent[g.ID]
+	delete(e.groupAgent, g.ID) // retire the entry: the map tracks open groups only
 	exp := memory.Experience{Reward: float64(g.Reward()), Error: g.ErrTG}
 	e.col.RecordGroup(metrics.GroupRecord{
 		GroupID:     g.ID,
@@ -918,8 +1120,15 @@ func (e *Engine) completeGroup(g *grouping.Group, node *platform.Node) {
 }
 
 // recordCycle logs the platform's cumulative busy time and engaged
-// capacity at a learning-cycle boundary.
+// capacity at a learning-cycle boundary. In low-memory mode the values
+// come from the incrementally maintained integrals in O(1); otherwise
+// from the historical platform sweep, kept bit-exact.
 func (e *Engine) recordCycle(now float64) {
+	if e.lite != nil {
+		e.lite.advance(now)
+		e.col.RecordCycle(now, e.lite.busyTime, e.lite.busyDemand, e.lite.capDemand)
+		return
+	}
 	e.pl.AdvanceAll(now)
 	busy := 0.0
 	for _, p := range e.pl.Processors() {
@@ -996,9 +1205,7 @@ func (e *Engine) failProcessor(node *platform.Node, proc *platform.Processor) {
 	if rt := e.running[proc.ID]; rt.task != nil {
 		e.sim.Cancel(rt.handle)
 		e.running[proc.ID] = runningTask{}
-		acct := e.touchAcct(node)
-		acct.busy--
-		acct.undispatched++
+		e.acctDelta(node, -1, 1)
 		rt.task.StartTime = -1
 		e.retries[node.ID] = append(e.retries[node.ID], retryEntry{task: rt.task, group: rt.group})
 		e.restarts++

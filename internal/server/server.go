@@ -932,6 +932,30 @@ func (s *Server) execute(ctx context.Context, j *job, prof experiments.Profile, 
 			points[i] = summarizePoint(j.spec.Points[i], res)
 		}
 		return nil, points, nil
+	case config.JobScale:
+		// One scenario, one point. Like any single point it is not
+		// cancellable mid-run; the deadline is checked before starting.
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		c, err := j.spec.Scale.Config()
+		if err != nil {
+			return nil, nil, err
+		}
+		// Engine telemetry flows exactly as in profile-driven jobs: run
+		// counters into the settled status and /metrics, events into the
+		// trace ring when the job asked for one.
+		c.Stats = prof.Engine.Stats
+		c.Tracer = prof.Engine.Tracer
+		res, err := experiments.RunScale(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		if prof.Progress != nil {
+			prof.Progress()
+		}
+		spec := experiments.RunSpec{Policy: c.Policy, NumTasks: c.NumTasks, Seed: c.Seed}
+		return nil, []PointResult{summarizePoint(spec, res)}, nil
 	default:
 		return nil, nil, fmt.Errorf("unknown job kind %q", j.spec.Kind)
 	}

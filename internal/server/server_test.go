@@ -181,6 +181,67 @@ func TestPointsJob(t *testing.T) {
 	}
 }
 
+// TestScaleJob runs a (shrunken) large-scale streaming scenario through
+// the daemon and checks the single-point summary.
+func TestScaleJob(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := `{"kind": "scale", "scale": {"preset": "small", "sites": 10, "num_tasks": 800, "policy": "greedy", "seed": 3}}`
+	code, m := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, m)
+	}
+	id := m["id"].(string)
+	final := waitState(t, ts, id, StateDone)
+	if total := final["points_total"].(float64); total != 1 {
+		t.Fatalf("points_total %v, want 1", total)
+	}
+	if done := final["points_done"].(float64); done != 1 {
+		t.Fatalf("points_done %v, want 1", done)
+	}
+	code, raw := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: HTTP %d: %s", code, raw)
+	}
+	var res JobResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Figures != nil {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	pt := res.Points[0]
+	if pt.Completed != 800 || pt.EndTime <= 0 || pt.ECS <= 0 {
+		t.Fatalf("scale summary implausible: %+v", pt)
+	}
+	if pt.Spec.Policy != "greedy" || pt.Spec.NumTasks != 800 || pt.Spec.Seed != 3 {
+		t.Fatalf("scale spec not echoed: %+v", pt.Spec)
+	}
+	// Engine counters must flow from the streaming run into the settled
+	// status, like every other job kind.
+	eng, ok := final["engine"].(map[string]any)
+	if !ok {
+		t.Fatalf("settled status missing engine block: %v", final)
+	}
+	if eng["events"].(float64) <= 0 || eng["tasks_scheduled"].(float64) != 800 {
+		t.Fatalf("scale engine stats not populated: %v", eng)
+	}
+
+	// The daemon's number must equal the library's.
+	cfg, err := experiments.ScalePreset("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sites, cfg.NumTasks, cfg.Policy, cfg.Seed = 10, 800, "greedy", 3
+	direct, err := experiments.RunScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.AveRT != direct.AveRT || pt.ECS != direct.ECS || pt.EndTime != direct.EndTime {
+		t.Fatalf("daemon scale result differs from direct run:\nhttp:   %+v\ndirect: AveRT %g ECS %g End %g",
+			pt, direct.AveRT, direct.ECS, direct.EndTime)
+	}
+}
+
 // TestCancelRunningJobStopsWork cancels a running job and checks the
 // acceptance criteria: the job settles as cancelled, its progress
 // counter freezes below the total, and the result endpoint answers 409.

@@ -66,56 +66,12 @@ func (c BurstyConfig) Validate() error {
 
 // GenerateBursty produces a workload whose arrivals follow the two-phase
 // modulated Poisson process. Size, deadline and priority semantics are
-// identical to Generate.
+// identical to Generate. It is the materialising adapter over
+// NewBurstySource.
 func GenerateBursty(cfg BurstyConfig, r *rng.Stream) ([]*Task, error) {
-	if err := cfg.Validate(); err != nil {
+	src, err := NewBurstySource(cfg, r)
+	if err != nil {
 		return nil, err
 	}
-	mix := cfg.Mix.Normalize()
-	weights := []float64{mix.Low, mix.Medium, mix.High}
-	tasks := make([]*Task, cfg.NumTasks)
-
-	clock := 0.0
-	inBurst := false
-	phaseEnd := r.Exp(cfg.MeanGapLen)
-	gapScale := cfg.gapRateScale()
-
-	for i := range tasks {
-		// Draw the next arrival under the current phase's rate; if it
-		// crosses the phase boundary, re-draw from the boundary under the
-		// new phase (memorylessness makes this exact).
-		for {
-			mean := cfg.MeanInterArrival / gapScale
-			if inBurst {
-				mean = cfg.MeanInterArrival / cfg.BurstFactor
-			}
-			next := clock + r.Exp(mean)
-			if next <= phaseEnd {
-				clock = next
-				break
-			}
-			clock = phaseEnd
-			inBurst = !inBurst
-			if inBurst {
-				phaseEnd = clock + r.Exp(cfg.MeanBurstLen)
-			} else {
-				phaseEnd = clock + r.Exp(cfg.MeanGapLen)
-			}
-		}
-		size := r.Uniform(cfg.MinSizeMI, cfg.MaxSizeMI)
-		prio := Priorities[r.WeightedChoice(weights)]
-		act := size / cfg.SlowestSpeedMIPS
-		slack := slackFor(prio, r)
-		tasks[i] = &Task{
-			ID:          i,
-			SizeMI:      size,
-			ACT:         act,
-			Deadline:    act * (1 + slack),
-			Priority:    prio,
-			ArrivalTime: clock,
-			StartTime:   -1,
-			FinishTime:  -1,
-		}
-	}
-	return tasks, nil
+	return Collect(src), nil
 }

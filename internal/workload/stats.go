@@ -1,0 +1,70 @@
+package workload
+
+// StatsAccumulator computes workload statistics incrementally, so a
+// Source can be summarised while it streams without buffering tasks.
+// Sums are accumulated in the same order and with the same operations as
+// the slice-based Summarize/TotalSize, so the results are identical (not
+// merely close) for the same task sequence.
+type StatsAccumulator struct {
+	count        int
+	sizeSum      float64
+	dlSum        float64
+	countByPrio  [numPriorities]int
+	firstArrival float64
+	lastArrival  float64
+}
+
+// Add folds one task into the accumulator. Tasks must be added in
+// arrival order (the order every Source yields).
+func (a *StatsAccumulator) Add(t *Task) {
+	if a.count == 0 {
+		a.firstArrival = t.ArrivalTime
+	}
+	a.lastArrival = t.ArrivalTime
+	a.count++
+	a.sizeSum += t.SizeMI
+	a.dlSum += t.Deadline
+	a.countByPrio[t.Priority]++
+}
+
+// Count returns the number of tasks added so far.
+func (a *StatsAccumulator) Count() int { return a.count }
+
+// TotalSize returns Σ s_i over the added tasks, matching TotalSize on
+// the equivalent slice.
+func (a *StatsAccumulator) TotalSize() float64 { return a.sizeSum }
+
+// TotalDeadline returns Σ d_i over the added tasks, matching
+// TotalDeadline on the equivalent slice.
+func (a *StatsAccumulator) TotalDeadline() float64 { return a.dlSum }
+
+// Stats returns the summary of everything added so far, matching
+// Summarize on the equivalent slice.
+func (a *StatsAccumulator) Stats() Stats {
+	var st Stats
+	st.Count = a.count
+	if a.count == 0 {
+		return st
+	}
+	st.MeanSizeMI = a.sizeSum / float64(a.count)
+	st.MeanDeadline = a.dlSum / float64(a.count)
+	st.CountByPrio = a.countByPrio
+	st.Span = a.lastArrival - a.firstArrival
+	if a.count > 1 {
+		st.MeanIAT = st.Span / float64(a.count-1)
+	}
+	return st
+}
+
+// SummarizeSource drains a source and returns its statistics without
+// retaining the tasks.
+func SummarizeSource(src Source) Stats {
+	var a StatsAccumulator
+	for {
+		t, ok := src.Next()
+		if !ok {
+			return a.Stats()
+		}
+		a.Add(t)
+	}
+}

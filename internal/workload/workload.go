@@ -244,33 +244,14 @@ func slackFor(p Priority, r *rng.Stream) float64 {
 
 // Generate produces a workload of cfg.NumTasks tasks in arrival order.
 // All randomness is drawn from r, so identical (cfg, stream) pairs yield
-// identical workloads.
+// identical workloads. It is the materialising adapter over NewGenerator;
+// large-scale runs should consume the Source directly instead.
 func Generate(cfg GenConfig, r *rng.Stream) ([]*Task, error) {
-	if err := cfg.Validate(); err != nil {
+	src, err := NewGenerator(cfg, r)
+	if err != nil {
 		return nil, err
 	}
-	mix := cfg.Mix.Normalize()
-	weights := []float64{mix.Low, mix.Medium, mix.High}
-	tasks := make([]*Task, cfg.NumTasks)
-	clock := 0.0
-	for i := range tasks {
-		clock += r.Exp(cfg.MeanInterArrival)
-		size := r.Uniform(cfg.MinSizeMI, cfg.MaxSizeMI)
-		prio := Priorities[r.WeightedChoice(weights)]
-		act := size / cfg.SlowestSpeedMIPS
-		slack := slackFor(prio, r)
-		tasks[i] = &Task{
-			ID:          i,
-			SizeMI:      size,
-			ACT:         act,
-			Deadline:    act * (1 + slack),
-			Priority:    prio,
-			ArrivalTime: clock,
-			StartTime:   -1,
-			FinishTime:  -1,
-		}
-	}
-	return tasks, nil
+	return Collect(src), nil
 }
 
 // MustGenerate is Generate but panics on configuration errors; intended
