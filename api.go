@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 
+	"rlsched/internal/cache"
+	"rlsched/internal/cluster"
 	"rlsched/internal/config"
 	"rlsched/internal/core"
 	"rlsched/internal/experiments"
@@ -411,3 +413,50 @@ func NewDiurnalWorkloadSource(cfg DiurnalWorkloadConfig, r *Stream) (WorkloadSou
 // WorkloadFromSlice adapts a pre-generated, arrival-ordered task slice
 // into a streaming source.
 func WorkloadFromSlice(tasks []*Task) WorkloadSource { return workload.FromSlice(tasks) }
+
+// Distributed campaigns: every point a job runs flows through a
+// content-addressed result cache (sound because results are
+// bit-deterministic functions of their specs), and a daemon given peers
+// fans campaign points out across worker daemons over the ordinary REST
+// API. See the README's "Cluster mode" section.
+type (
+	// CacheSpec configures the result cache of a JobServer: spool
+	// directory (empty: memory only) and in-memory entry bound.
+	CacheSpec = config.CacheSpec
+	// ClusterSpec selects a daemon's cluster role: a worker list to
+	// coordinate, or Worker mode to serve leases only.
+	ClusterSpec = config.ClusterSpec
+	// CacheStats reports the result cache's hit/miss/size counters.
+	CacheStats = cache.Stats
+	// ClusterWorkerStatus is one pool member's health snapshot, served
+	// by GET /v1/cluster.
+	ClusterWorkerStatus = cluster.WorkerStatus
+	// ClusterStatus is the payload of GET /v1/cluster: role, worker
+	// pool and cache counters.
+	ClusterStatus = server.ClusterStatus
+	// FullJobResult is the payload of GET /v1/jobs/{id}/result?view=full
+	// for jobs submitted with "keep_results": true — the cluster lease
+	// wire shape.
+	FullJobResult = server.FullResult
+)
+
+// CacheEngineVersion names the engine's deterministic-output contract;
+// it is folded into every cache key, so bumping it (on any change that
+// alters results bit-for-bit) retires all previous cache entries.
+const CacheEngineVersion = cache.EngineVersion
+
+// SpecHash returns the canonical content address of one simulation
+// point spec: "sha256:" plus 64 lowercase hex digits over the canonical
+// JSON (sorted keys, literal numbers) of
+// {"engine": CacheEngineVersion, "spec": <spec>}. The format is frozen
+// by a golden-value test; it only moves with a deliberate
+// CacheEngineVersion bump.
+func SpecHash(spec RunSpec) string { return cache.SpecHash(spec) }
+
+// PointCacheKey returns the full content address of one point under a
+// profile — the key the daemon's result cache uses. The profile is
+// first reduced to its result-relevant fields, so campaign-shape knobs
+// (replications, worker counts, hooks) do not fragment the cache.
+func PointCacheKey(p Profile, spec RunSpec) (string, error) {
+	return cache.PointKey(p.CacheFingerprint(), spec)
+}

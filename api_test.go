@@ -197,3 +197,71 @@ func TestCheckpointThroughAPI(t *testing.T) {
 		t.Fatal("expected error for non-adaptive policy")
 	}
 }
+
+// TestSpecHashGolden freezes the cache key format: the engine version,
+// the envelope field names, the canonical JSON shape (sorted keys,
+// literal numbers — a max uint64 seed must survive untouched) and the
+// SHA-256 hex rendering. If this test fails, results stored under old
+// keys are unreachable: either restore the format or deliberately bump
+// CacheEngineVersion as the cache-flush mechanism.
+func TestSpecHashGolden(t *testing.T) {
+	if v := rlsched.CacheEngineVersion; v != "rlsched-v1" {
+		t.Fatalf("CacheEngineVersion = %q: bumping it retires every cached result; update this test only on a deliberate bump", v)
+	}
+	golden := []struct {
+		spec rlsched.RunSpec
+		want string
+	}{
+		{
+			rlsched.RunSpec{Policy: rlsched.Greedy, NumTasks: 100, Seed: 42},
+			"sha256:d750066d09f42c72288271a524e97be59314f39564456c7c168ef64e13bc6593",
+		},
+		{
+			rlsched.RunSpec{Policy: rlsched.AdaptiveRL, NumTasks: 1500, HeterogeneityCV: 1.1, Seed: 18446744073709551615},
+			"sha256:48f66e1d5819544d3dd765f75f5725ab2e28dc4fd4cb5238e8692a47b648aae3",
+		},
+	}
+	for _, g := range golden {
+		if got := rlsched.SpecHash(g.spec); got != g.want {
+			t.Errorf("SpecHash(%+v) = %s, want %s (frozen format)", g.spec, got, g.want)
+		}
+	}
+}
+
+// TestPointCacheKeyInsensitiveToCampaignShape checks the profile
+// fingerprint: knobs that cannot change a point's result (replications,
+// parallelism, progress plumbing) must not move the cache key, while
+// result-relevant knobs must.
+func TestPointCacheKeyInsensitiveToCampaignShape(t *testing.T) {
+	spec := rlsched.RunSpec{Policy: rlsched.Greedy, NumTasks: 100, Seed: 42}
+	base, err := rlsched.PointCacheKey(smallProfile(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(base, "sha256:") || len(base) != len("sha256:")+64 {
+		t.Fatalf("malformed key %q", base)
+	}
+
+	reshaped := smallProfile()
+	reshaped.Workers = 7
+	reshaped.Replications = 9
+	reshaped.Seed = 999
+	reshaped.Progress = func() {}
+	same, err := rlsched.PointCacheKey(reshaped, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != base {
+		t.Fatal("campaign-shape knobs moved the cache key; repeated points would never hit")
+	}
+
+	heavier := smallProfile()
+	heavier.ObservationPeriod *= 2
+	moved, err := rlsched.PointCacheKey(heavier, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == base {
+		t.Fatal("a result-relevant profile change kept the cache key; the cache would serve wrong results")
+	}
+}

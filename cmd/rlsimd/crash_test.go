@@ -36,12 +36,19 @@ type daemon struct {
 }
 
 // startDaemon re-execs the test binary as rlsimd on an ephemeral port
-// and parses the announced listen address from its stdout.
-func startDaemon(t *testing.T, spool string) *daemon {
+// and parses the announced listen address from its stdout. An empty
+// spool runs without a journal; extra flags are appended verbatim.
+func startDaemon(t *testing.T, spool string, extra ...string) *daemon {
 	t.Helper()
+	args := "-addr 127.0.0.1:0"
+	if spool != "" {
+		args += " -spool " + spool
+	}
+	if len(extra) > 0 {
+		args += " " + strings.Join(extra, " ")
+	}
 	cmd := exec.Command(os.Args[0])
-	cmd.Env = append(os.Environ(),
-		reexecEnv+"=-addr 127.0.0.1:0 -spool "+spool)
+	cmd.Env = append(os.Environ(), reexecEnv+"="+args)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	rlsimd [-addr 127.0.0.1:8080] [-jobs 1] [-queue 16] [-grace 30s] [-spool DIR]
+//	       [-cache-dir DIR] [-cache-entries N]
+//	       [-peers URL,URL...] [-worker] [-heartbeat 5s] [-dead-after 15s]
 //	       [-pprof] [-log-level info] [-version]
 //
 // The daemon serves Prometheus-format metrics on /metrics and logs
@@ -19,6 +21,15 @@
 // to DIR; after a crash or kill, restarting with the same -spool
 // restores finished jobs and re-runs interrupted ones, reproducing the
 // exact results the interrupted run would have delivered.
+//
+// Every campaign point flows through a content-addressed result cache;
+// -cache-dir spools it to disk so repeated points survive restarts, and
+// -cache-entries bounds the in-memory tier. With -peers the daemon
+// coordinates: campaign points fan out across the named worker daemons
+// (more join at runtime via POST /v1/cluster/register), probed every
+// -heartbeat and retired after -dead-after without a successful probe.
+// With -worker the daemon only serves leases and never fans out. The
+// two roles are mutually exclusive.
 package main
 
 import (
@@ -31,9 +42,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"rlsched/internal/config"
 	"rlsched/internal/obs"
 	"rlsched/internal/server"
 )
@@ -69,6 +82,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	queue := fs.Int("queue", 16, "queued jobs accepted beyond the running ones")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown grace period for running jobs")
 	spool := fs.String("spool", "", "spool directory for the durable job journal (empty: in-memory only)")
+	cacheDir := fs.String("cache-dir", "", "spool directory for the content-addressed result cache (empty: in-memory only)")
+	cacheEntries := fs.Int("cache-entries", 0, "in-memory result cache entries (0: default)")
+	peers := fs.String("peers", "", "comma-separated worker base URLs to fan campaign points out to")
+	workerMode := fs.Bool("worker", false, "serve cluster leases only; never fan out to peers")
+	heartbeat := fs.Duration("heartbeat", 0, "cluster worker health-probe interval (0: default 5s)")
+	deadAfter := fs.Duration("dead-after", 0, "retire a worker after this long without a successful probe (0: default 15s)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	version := fs.Bool("version", false, "print build information and exit")
@@ -85,12 +104,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
 	srv, err := server.New(server.Options{
 		Jobs:       *jobs,
 		QueueDepth: *queue,
 		SpoolDir:   *spool,
 		Logger:     obs.NewLogger(stderr, level),
 		Pprof:      *pprofOn,
+		Cache: config.CacheSpec{
+			Dir:        *cacheDir,
+			MaxEntries: *cacheEntries,
+		},
+		Cluster: config.ClusterSpec{
+			Peers:        peerList,
+			Worker:       *workerMode,
+			HeartbeatSec: heartbeat.Seconds(),
+			DeadAfterSec: deadAfter.Seconds(),
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "rlsimd: %v\n", err)

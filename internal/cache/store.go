@@ -1,0 +1,264 @@
+package cache
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// DefaultMemEntries bounds the in-memory LRU when the caller passes 0:
+// enough to keep a whole figure campaign hot without letting a sweep of
+// large results balloon the daemon.
+const DefaultMemEntries = 256
+
+// Stats is a counter snapshot of a Store. Hits and Misses cover Get
+// calls (a disk hit counts as a hit); BadEntries counts corrupted spool
+// files detected and discarded.
+type Stats struct {
+	Hits, Misses, Puts uint64
+	BadEntries         uint64
+	// MemEntries is the current LRU population; DiskEntries/DiskBytes
+	// size the on-disk spool (zero for a memory-only store).
+	MemEntries  int
+	DiskEntries int64
+	DiskBytes   int64
+}
+
+// Lookups is the total Get count.
+func (s Stats) Lookups() uint64 { return s.Hits + s.Misses }
+
+// HitRate is Hits over Lookups, 0 before the first lookup.
+func (s Stats) HitRate() float64 {
+	if l := s.Lookups(); l > 0 {
+		return float64(s.Hits) / float64(l)
+	}
+	return 0
+}
+
+// envelope is the on-disk entry format. Carrying the key inside the file
+// makes corruption and cross-wiring (a file renamed or truncated by an
+// operator) detectable: an entry whose embedded key does not match the
+// requested address is discarded as bad.
+type envelope struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// entry is one LRU slot.
+type entry struct {
+	key string
+	val []byte
+}
+
+// Store is a content-addressed byte store: a bounded in-memory LRU in
+// front of an optional fsynced on-disk spool sharded by hash prefix.
+// Safe for concurrent use. Values handed out by Get are shared — callers
+// must treat them as read-only.
+type Store struct {
+	dir    string // "" = memory-only
+	maxMem int
+
+	mu  sync.Mutex
+	lru *list.List // front = most recently used; values are *entry
+	idx map[string]*list.Element
+
+	hits, misses, puts, bad uint64
+	diskEntries, diskBytes  int64
+}
+
+// Open creates a store. dir "" keeps it memory-only; otherwise the spool
+// directory is created if needed and scanned (names and sizes only — no
+// entry is parsed until requested) so Stats reflects what is already on
+// disk. maxMem <= 0 selects DefaultMemEntries.
+func Open(dir string, maxMem int) (*Store, error) {
+	if maxMem <= 0 {
+		maxMem = DefaultMemEntries
+	}
+	s := &Store{
+		dir:    dir,
+		maxMem: maxMem,
+		lru:    list.New(),
+		idx:    make(map[string]*list.Element),
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: creating spool: %w", err)
+	}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".json") {
+			return err
+		}
+		if info, err := d.Info(); err == nil {
+			s.diskEntries++
+			s.diskBytes += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cache: scanning spool: %w", err)
+	}
+	return s, nil
+}
+
+// path shards an entry by hash prefix: sha256:abcdef... lands in
+// <dir>/ab/cdef....json, keeping any single directory small even with
+// millions of entries.
+func (s *Store) path(key string) (string, bool) {
+	hex, ok := strings.CutPrefix(key, KeyPrefix)
+	if !ok || len(hex) < 3 {
+		return "", false
+	}
+	return filepath.Join(s.dir, hex[:2], hex[2:]+".json"), true
+}
+
+// Get returns the value stored under key. A memory miss falls through to
+// the disk spool; a spool entry that fails to parse or carries the wrong
+// embedded key is deleted and reported as a miss — corruption can cost a
+// re-run, never a wrong answer.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	if el, ok := s.idx[key]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		val := el.Value.(*entry).val
+		s.mu.Unlock()
+		return val, true
+	}
+	if s.dir == "" {
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Unlock()
+
+	// Disk read outside the lock: a slow volume must not serialise the
+	// hot in-memory path.
+	path, ok := s.path(key)
+	if !ok {
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Key != key {
+		// Corrupted or cross-wired entry: drop it so it cannot shadow a
+		// future Put, and miss.
+		_ = os.Remove(path)
+		s.mu.Lock()
+		s.bad++
+		s.misses++
+		s.diskEntries--
+		s.diskBytes -= int64(len(data))
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.hits++
+	s.insertLocked(key, env.Value)
+	s.mu.Unlock()
+	return env.Value, true
+}
+
+// insertLocked adds (or refreshes) a memory entry and evicts past the
+// LRU bound. Callers hold s.mu.
+func (s *Store) insertLocked(key string, val []byte) {
+	if el, ok := s.idx[key]; ok {
+		el.Value.(*entry).val = val
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.idx[key] = s.lru.PushFront(&entry{key: key, val: val})
+	for s.lru.Len() > s.maxMem {
+		last := s.lru.Back()
+		delete(s.idx, last.Value.(*entry).key)
+		s.lru.Remove(last)
+	}
+}
+
+// Put stores val under key: into the LRU always, and — when the store
+// has a spool — onto disk via write-temp, fsync, rename, so a crash
+// leaves either the complete entry or no entry, never a torn one.
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	s.puts++
+	s.insertLocked(key, val)
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	path, ok := s.path(key)
+	if !ok {
+		return fmt.Errorf("cache: malformed key %q", key)
+	}
+	data, err := json.Marshal(envelope{Key: key, Value: val})
+	if err != nil {
+		return fmt.Errorf("cache: encoding entry: %w", err)
+	}
+	data = append(data, '\n')
+	shard := filepath.Dir(path)
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("cache: creating shard: %w", err)
+	}
+	var prev int64 = -1
+	if info, err := os.Stat(path); err == nil {
+		prev = info.Size()
+	}
+	tmp, err := os.CreateTemp(shard, ".put-*")
+	if err != nil {
+		return fmt.Errorf("cache: creating temp entry: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: writing entry: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: syncing entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: closing entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("cache: installing entry: %w", err)
+	}
+	s.mu.Lock()
+	if prev >= 0 {
+		s.diskBytes += int64(len(data)) - prev
+	} else {
+		s.diskEntries++
+		s.diskBytes += int64(len(data))
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:        s.hits,
+		Misses:      s.misses,
+		Puts:        s.puts,
+		BadEntries:  s.bad,
+		MemEntries:  s.lru.Len(),
+		DiskEntries: s.diskEntries,
+		DiskBytes:   s.diskBytes,
+	}
+}

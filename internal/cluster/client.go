@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"rlsched/internal/config"
+	"rlsched/internal/sched"
+)
+
+// leaseError classifies a failed lease. Transient failures — transport
+// errors, 5xx, 429, a worker shutting down mid-job — mean the worker is
+// lost, not the point: the dispatcher re-leases elsewhere. Everything
+// else is deterministic (re-running the same spec reproduces it) and
+// fails the campaign at that point's index.
+type leaseError struct {
+	transient bool
+	err       error
+}
+
+func (e *leaseError) Error() string { return e.err.Error() }
+func (e *leaseError) Unwrap() error { return e.err }
+
+func transientf(format string, args ...any) *leaseError {
+	return &leaseError{transient: true, err: fmt.Errorf(format, args...)}
+}
+
+func deterministicf(format string, args ...any) *leaseError {
+	return &leaseError{transient: false, err: fmt.Errorf(format, args...)}
+}
+
+// client speaks the worker side of the ordinary rlsimd REST API. The
+// wire structs are declared locally (not imported from internal/server)
+// to keep the dependency one-way: the server embeds the cluster, never
+// the reverse.
+type client struct {
+	hc   *http.Client
+	poll time.Duration
+}
+
+// jobStatus is the subset of the server's JobStatus a lease needs.
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// fullResultView is the payload of GET /v1/jobs/{id}/result?view=full.
+type fullResultView struct {
+	ID      string         `json:"id"`
+	Results []sched.Result `json:"results"`
+}
+
+// errorBody is the structured error every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// transientStatus reports whether an HTTP status signals worker
+// overload or breakage rather than a deterministic spec problem.
+func transientStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// decodeError extracts the {"error": ...} body, falling back to the
+// status text.
+func decodeError(resp *http.Response) string {
+	var eb errorBody
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		return eb.Error
+	}
+	return http.StatusText(resp.StatusCode)
+}
+
+// submit posts a single-point job spec to a worker and returns the
+// accepted job id.
+func (c *client) submit(ctx context.Context, base string, spec config.JobSpec) (string, *leaseError) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", deterministicf("cluster: encoding lease spec: %v", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", deterministicf("cluster: building lease request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", transientf("cluster: submitting lease to %s: %v", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg := decodeError(resp)
+		if transientStatus(resp.StatusCode) {
+			return "", transientf("cluster: worker %s refused lease (%d): %s", base, resp.StatusCode, msg)
+		}
+		return "", deterministicf("cluster: worker %s rejected lease (%d): %s", base, resp.StatusCode, msg)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || st.ID == "" {
+		return "", transientf("cluster: worker %s sent an unreadable acceptance: %v", base, err)
+	}
+	return st.ID, nil
+}
+
+// wait polls the worker until the leased job settles, cancelling the
+// remote job (best effort) if ctx ends first.
+func (c *client) wait(ctx context.Context, base, id string) (jobStatus, *leaseError) {
+	t := time.NewTicker(c.poll)
+	defer t.Stop()
+	for {
+		st, lerr := c.status(ctx, base, id)
+		if lerr != nil {
+			if ctx.Err() != nil {
+				c.cancel(base, id)
+			}
+			return jobStatus{}, lerr
+		}
+		switch st.State {
+		case "done", "failed", "timeout", "cancelled":
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			c.cancel(base, id)
+			return jobStatus{}, transientf("cluster: lease wait: %v", ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
+// status fetches one job status snapshot.
+func (c *client) status(ctx context.Context, base, id string) (jobStatus, *leaseError) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return jobStatus{}, deterministicf("cluster: building status request: %v", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return jobStatus{}, transientf("cluster: polling %s: %v", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jobStatus{}, transientf("cluster: worker %s lost job %s (%d)", base, id, resp.StatusCode)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return jobStatus{}, transientf("cluster: worker %s sent an unreadable status: %v", base, err)
+	}
+	return st, nil
+}
+
+// fullResults fetches the settled job's full engine results.
+func (c *client) fullResults(ctx context.Context, base, id string) ([]sched.Result, *leaseError) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/result?view=full", nil)
+	if err != nil {
+		return nil, deterministicf("cluster: building result request: %v", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, transientf("cluster: fetching result from %s: %v", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, transientf("cluster: worker %s would not serve result for %s (%d): %s",
+			base, id, resp.StatusCode, decodeError(resp))
+	}
+	var view fullResultView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, transientf("cluster: worker %s sent an unreadable result: %v", base, err)
+	}
+	return view.Results, nil
+}
+
+// cancel tears a leased job down, best effort, when the coordinator no
+// longer wants it. Detached from ctx: it runs exactly because ctx died.
+func (c *client) cancel(base, id string) {
+	ctx, stop := context.WithTimeout(context.Background(), probeTimeout)
+	defer stop()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := c.hc.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}

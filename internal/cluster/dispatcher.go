@@ -1,0 +1,348 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"rlsched/internal/cache"
+	"rlsched/internal/config"
+	"rlsched/internal/experiments"
+	"rlsched/internal/journal"
+	"rlsched/internal/obs"
+	"rlsched/internal/sched"
+)
+
+// DefaultPoll is how often a lease polls its worker job's status.
+const DefaultPoll = 100 * time.Millisecond
+
+// Options configures a Dispatcher.
+type Options struct {
+	// Cache is the content-addressed result store. Required.
+	Cache *cache.Store
+	// Pool supplies lease targets; nil runs every cache miss locally
+	// (the standalone and worker shapes — still cached, never fanned
+	// out).
+	Pool *Pool
+	// Journal, when non-nil, receives lease and cacheref records so the
+	// coordinator's spool is the source of truth for resumed fan-outs.
+	// Appends are best-effort, like the server's terminal records.
+	Journal func(journal.Record)
+	// Registry receives the dispatcher's counters; nil uses a private
+	// registry (the counters still work, nobody scrapes them).
+	Registry *obs.Registry
+	// Logger receives lease lifecycle warnings. Nil discards them.
+	Logger *slog.Logger
+	// Client issues lease requests; nil uses a private client without a
+	// global timeout (leases poll under the campaign context, and a
+	// leased point can legitimately run for minutes).
+	Client *http.Client
+	// Poll is the lease status-poll interval; 0 selects DefaultPoll.
+	Poll time.Duration
+}
+
+// Dispatcher executes campaigns through the cache and, when a pool is
+// attached, across the pool's workers. Plug it into a job with Runner.
+type Dispatcher struct {
+	cache *cache.Store
+	pool  *Pool
+	jn    func(journal.Record)
+	log   *slog.Logger
+	cl    *client
+
+	cached, remote, local *obs.Counter
+	leaseRetries          *obs.Counter
+	leasesActive          *obs.Gauge
+}
+
+// NewDispatcher wires a dispatcher; see Options.
+func NewDispatcher(opts Options) *Dispatcher {
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	log := opts.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	hc := opts.Client
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	poll := opts.Poll
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	return &Dispatcher{
+		cache: opts.Cache,
+		pool:  opts.Pool,
+		jn:    opts.Journal,
+		log:   log,
+		cl:    &client{hc: hc, poll: poll},
+		cached: reg.Counter("cluster_points_cached_total",
+			"Campaign points served from the content-addressed result cache."),
+		remote: reg.Counter("cluster_points_remote_total",
+			"Campaign points executed on cluster workers."),
+		local: reg.Counter("cluster_points_local_total",
+			"Campaign points executed locally by the dispatcher (no worker available)."),
+		leaseRetries: reg.Counter("cluster_lease_retries_total",
+			"Leases re-issued after a worker was lost mid-point."),
+		leasesActive: reg.Gauge("cluster_leases_active",
+			"Leases currently in flight on cluster workers."),
+	}
+}
+
+// Runner returns a Profile.RunPoints executor bound to one job id (the
+// id stamps the job's lease and cacheref journal records).
+func (d *Dispatcher) Runner(jobID string) func(context.Context, experiments.Profile, []experiments.RunSpec) ([]sched.Result, error) {
+	return func(ctx context.Context, p experiments.Profile, specs []experiments.RunSpec) ([]sched.Result, error) {
+		return d.run(ctx, jobID, p, specs)
+	}
+}
+
+// encodeResult marshals a point result for the cache and the wire. The
+// Collector (per-task records for post-hoc analysis) is dropped: no
+// figure or summary reads it, and it can dwarf the result scalars.
+func encodeResult(r sched.Result) ([]byte, error) {
+	r.Collector = nil
+	return json.Marshal(r)
+}
+
+// finishPoint folds a point that was not run in-process — served from
+// cache or computed remotely — into the campaign's side channels: the
+// job-level engine stats aggregate and the progress hook. Locally run
+// points do both themselves.
+func finishPoint(p experiments.Profile, r sched.Result) {
+	if p.Engine.Stats != nil {
+		p.Engine.Stats.Add(r.Stats)
+	}
+	if p.Progress != nil {
+		p.Progress()
+	}
+}
+
+// run executes one campaign: cache pass, worker fan-out, local
+// remainder. Results come back in spec order, bit-identical to a local
+// run; on failure the lowest-index failing point's error is returned,
+// mirroring the local runner.
+func (d *Dispatcher) run(ctx context.Context, jobID string, p experiments.Profile, specs []experiments.RunSpec) ([]sched.Result, error) {
+	fp := p.CacheFingerprint()
+	results := make([]sched.Result, len(specs))
+	keys := make([]string, len(specs))
+	var missing []int
+	for i, spec := range specs {
+		key, err := cache.PointKey(fp, spec)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: keying point %d: %w", i, err)
+		}
+		keys[i] = key
+		if raw, ok := d.cache.Get(key); ok {
+			var r sched.Result
+			if err := json.Unmarshal(raw, &r); err == nil {
+				results[i] = r
+				d.cached.Inc()
+				finishPoint(p, r)
+				continue
+			}
+			// An undecodable value under a good envelope: treat as a miss
+			// and recompute; the Put below overwrites it.
+		}
+		missing = append(missing, i)
+	}
+	if len(missing) == 0 {
+		return results, nil
+	}
+
+	if d.pool != nil {
+		var err error
+		missing, err = d.fanOut(ctx, jobID, p, specs, keys, results, missing)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(missing) == 0 {
+		return results, nil
+	}
+
+	// Local remainder: no workers (or none left alive). One batched run
+	// preserves the profile's own point parallelism; the profile copy
+	// drops RunPoints so the batch cannot recurse into the dispatcher.
+	sort.Ints(missing)
+	local := p
+	local.RunPoints = nil
+	batch := make([]experiments.RunSpec, len(missing))
+	for k, i := range missing {
+		batch[k] = specs[i]
+	}
+	out, err := experiments.RunManyCtx(ctx, local, batch)
+	if err != nil {
+		return nil, err
+	}
+	for k, i := range missing {
+		results[i] = out[k]
+		d.local.Inc()
+		d.putPoint(jobID, i, keys[i], out[k])
+	}
+	return results, nil
+}
+
+// putPoint stores one computed result in the cache and journals the
+// cacheref that lets a restarted coordinator skip the point.
+func (d *Dispatcher) putPoint(jobID string, i int, key string, r sched.Result) {
+	data, err := encodeResult(r)
+	if err != nil {
+		d.log.Warn("cluster: point result not cacheable", "job", jobID, "point", i, "error", err.Error())
+		return
+	}
+	if err := d.cache.Put(key, data); err != nil {
+		d.log.Warn("cluster: cache put failed", "job", jobID, "point", i, "error", err.Error())
+	}
+	if d.jn != nil {
+		d.jn(journal.Record{Op: journal.OpCacheRef, ID: jobID, Point: i, Key: key, Result: data})
+	}
+}
+
+// fanOut leases the missing points to alive workers — one in-flight
+// lease per worker — and returns the indices it could not place (worker
+// lost mid-lease with nobody left to retry, or no workers alive at all).
+// A deterministic point failure stops the fan-out and is returned for
+// the lowest failing index, exactly like the local runner's
+// forEachPoint.
+func (d *Dispatcher) fanOut(ctx context.Context, jobID string, p experiments.Profile, specs []experiments.RunSpec, keys []string, results []sched.Result, missing []int) ([]int, error) {
+	workers := d.pool.Alive()
+	if len(workers) == 0 {
+		return missing, nil
+	}
+
+	var (
+		mu      sync.Mutex
+		queue   = append([]int(nil), missing...)
+		errIdx  = len(specs)
+		firstEr error
+	)
+	pop := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstEr != nil || len(queue) == 0 {
+			return 0, false
+		}
+		i := queue[0]
+		queue = queue[1:]
+		return i, true
+	}
+	requeue := func(i int) {
+		mu.Lock()
+		queue = append(queue, i)
+		mu.Unlock()
+	}
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i, ok := pop()
+				if !ok {
+					return
+				}
+				res, lerr := d.leasePoint(ctx, url, jobID, p, specs[i], i, keys[i])
+				if lerr == nil {
+					mu.Lock()
+					results[i] = res
+					mu.Unlock()
+					d.remote.Inc()
+					d.pool.countLease(url)
+					d.putPoint(jobID, i, keys[i], res)
+					finishPoint(p, res)
+					continue
+				}
+				if lerr.transient {
+					// The worker is lost, not the point: hand the index
+					// back for a surviving worker (or the local remainder)
+					// and retire this worker until a heartbeat revives it.
+					d.leaseRetries.Inc()
+					d.pool.MarkDead(url)
+					requeue(i)
+					d.log.Warn("cluster: lease lost, re-issuing point",
+						"job", jobID, "point", i, "worker", url, "error", lerr.Error())
+					return
+				}
+				// Deterministic failure: re-running this spec anywhere
+				// reproduces it, so it fails the campaign at this index.
+				record(i, fmt.Errorf("point %d (%s n=%d cv=%g seed=%d): worker %s: %s",
+					i, specs[i].Policy, specs[i].NumTasks, specs[i].HeterogeneityCV, specs[i].Seed,
+					url, lerr.Error()))
+				return
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	mu.Lock()
+	left := append([]int(nil), queue...)
+	mu.Unlock()
+	return left, nil
+}
+
+// leasePoint runs one point on one worker: journal the lease, submit a
+// single-point keep_results job, wait for it to settle, fetch the full
+// result.
+func (d *Dispatcher) leasePoint(ctx context.Context, url, jobID string, p experiments.Profile, spec experiments.RunSpec, i int, key string) (sched.Result, *leaseError) {
+	if d.jn != nil {
+		d.jn(journal.Record{Op: journal.OpLease, ID: jobID, Point: i, Worker: url, Key: key})
+	}
+	d.leasesActive.Add(1)
+	defer d.leasesActive.Add(-1)
+
+	// The lease carries the campaign's own profile (runtime hooks are
+	// json:"-" and never cross the wire); the worker re-derives the same
+	// cache fingerprint from it, so coordinator and worker agree on keys.
+	js := config.JobSpec{
+		Description: fmt.Sprintf("lease %s point %d", jobID, i),
+		Kind:        config.JobPoints,
+		Points:      []experiments.RunSpec{spec},
+		KeepResults: true,
+		Profile:     p,
+	}
+	id, lerr := d.cl.submit(ctx, url, js)
+	if lerr != nil {
+		return sched.Result{}, lerr
+	}
+	st, lerr := d.cl.wait(ctx, url, id)
+	if lerr != nil {
+		return sched.Result{}, lerr
+	}
+	switch st.State {
+	case "done":
+	case "failed", "timeout":
+		return sched.Result{}, deterministicf("%s", st.Error)
+	default: // cancelled: the worker is going away, not the point
+		return sched.Result{}, transientf("cluster: worker %s cancelled leased job %s", url, id)
+	}
+	rs, lerr := d.cl.fullResults(ctx, url, id)
+	if lerr != nil {
+		return sched.Result{}, lerr
+	}
+	if len(rs) != 1 {
+		return sched.Result{}, transientf("cluster: worker %s returned %d results for a single-point lease", url, len(rs))
+	}
+	return rs[0], nil
+}

@@ -109,3 +109,48 @@ func TestMarshalIsHumanReadable(t *testing.T) {
 		t.Fatal("runtime-only Tracer field serialised")
 	}
 }
+
+func TestCacheSpecValidate(t *testing.T) {
+	if err := (CacheSpec{}).Validate(); err != nil {
+		t.Errorf("zero CacheSpec invalid: %v", err)
+	}
+	if err := (CacheSpec{Dir: "/tmp/c", MaxEntries: 64}).Validate(); err != nil {
+		t.Errorf("populated CacheSpec invalid: %v", err)
+	}
+	if err := (CacheSpec{MaxEntries: -1}).Validate(); err == nil {
+		t.Error("negative max_entries validated, want error")
+	}
+}
+
+func TestClusterSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec ClusterSpec
+		ok   bool
+	}{
+		{"zero", ClusterSpec{}, true},
+		{"worker", ClusterSpec{Worker: true}, true},
+		{"coordinator", ClusterSpec{Peers: []string{"http://127.0.0.1:7077", "https://w2:7077"}}, true},
+		{"both roles", ClusterSpec{Worker: true, Peers: []string{"http://w:7077"}}, false},
+		{"bad scheme", ClusterSpec{Peers: []string{"ftp://w:7077"}}, false},
+		{"no host", ClusterSpec{Peers: []string{"http://"}}, false},
+		{"garbage", ClusterSpec{Peers: []string{"not a url"}}, false},
+		{"duplicate", ClusterSpec{Peers: []string{"http://w:7077", "http://w:7077/"}}, false},
+		{"negative heartbeat", ClusterSpec{HeartbeatSec: -1}, false},
+		{"negative dead-after", ClusterSpec{DeadAfterSec: -0.5}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+	if !(ClusterSpec{Peers: []string{"http://w:7077"}}).Coordinator() {
+		t.Error("spec with peers not reported as coordinator")
+	}
+	if (ClusterSpec{Worker: true}).Coordinator() {
+		t.Error("worker reported as coordinator")
+	}
+}

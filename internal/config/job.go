@@ -58,6 +58,14 @@ type JobSpec struct {
 	// /v1/jobs/{id}/trace. Off by default: an untraced job pays no
 	// tracing cost at all (the endpoint then returns 404).
 	Trace bool `json:"trace,omitempty"`
+	// KeepResults, valid for JobPoints jobs only, makes the daemon
+	// retain every point's full engine result (util windows, run stats,
+	// series payloads) and serve them via GET
+	// /v1/jobs/{id}/result?view=full. This is the cluster lease shape:
+	// a coordinator needs the worker's full results, not the summary, to
+	// assemble figures byte-identically. Off by default — full results
+	// for a large campaign can dwarf the summary.
+	KeepResults bool `json:"keep_results,omitempty"`
 	// Series, when present, records simulation-domain time series for
 	// every point the job runs; they are served by GET
 	// /v1/jobs/{id}/series (and streamed live by .../series/stream).
@@ -174,6 +182,9 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	}
 	if s.Kind != JobScale && s.Scale != nil {
 		return JobSpec{}, fmt.Errorf("config: %q job must not set scale", s.Kind)
+	}
+	if s.KeepResults && s.Kind != JobPoints {
+		return JobSpec{}, fmt.Errorf("config: keep_results is only valid for %q jobs", JobPoints)
 	}
 	switch s.Kind {
 	case JobFigure:

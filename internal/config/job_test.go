@@ -284,3 +284,24 @@ func TestJobSeriesValidation(t *testing.T) {
 		t.Fatalf("empty series block rejected: %v", err)
 	}
 }
+
+func TestKeepResultsOnlyForPointsJobs(t *testing.T) {
+	spec := JobSpec{
+		Kind:        JobPoints,
+		KeepResults: true,
+		Points:      []experiments.RunSpec{{Policy: experiments.Greedy, NumTasks: 5, Seed: 1}},
+		Profile:     experiments.DefaultProfile(),
+	}
+	norm, err := spec.Normalize()
+	if err != nil {
+		t.Fatalf("points job with keep_results: %v", err)
+	}
+	if !norm.KeepResults {
+		t.Fatal("keep_results lost in Normalize")
+	}
+
+	fig := JobSpec{Kind: JobFigure, Figure: "7", KeepResults: true, Profile: experiments.DefaultProfile()}
+	if _, err := fig.Normalize(); err == nil {
+		t.Fatal("figure job with keep_results normalized, want error")
+	}
+}

@@ -129,6 +129,21 @@ type Profile struct {
 	// SlowPointSec is the slow-point warning threshold in seconds; 0 (the
 	// default) disables the warnings.
 	SlowPointSec float64
+	// RunPoints, when non-nil, replaces the local point executor:
+	// RunManyCtx hands it the whole expanded spec list and returns
+	// whatever it returns, instead of fanning the points over local
+	// worker goroutines. The rlsimd daemon uses it to route campaign
+	// points through its content-addressed result cache and, in cluster
+	// mode, across peer workers. Implementations must honour the local
+	// contract: results in spec order, bit-identical to a local run (the
+	// spec carries all randomness), lowest-index error on failure, and
+	// the profile's Progress hook invoked once per completed point.
+	//
+	// The hook is bypassed — the campaign runs locally — whenever the
+	// profile carries in-process instrumentation that cannot follow a
+	// point to another machine: a ProbeFor hook, an Engine.Probe
+	// recorder, or an Engine.Tracer. Runtime-only, never serialised.
+	RunPoints func(ctx context.Context, p Profile, specs []RunSpec) ([]sched.Result, error) `json:"-"`
 	// ProbeFor, when non-nil, supplies a per-point probe recorder:
 	// RunManyCtx (and everything built on it — figures, sweeps, the
 	// daemon) calls it once per simulation point with the point's index

@@ -156,6 +156,12 @@ func RunManyCtx(ctx context.Context, p Profile, specs []RunSpec) ([]sched.Result
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// A pluggable executor (cache lookup, cluster fan-out) takes the
+	// whole campaign — unless the profile carries in-process
+	// instrumentation (probes, tracers) that only a local run can feed.
+	if p.RunPoints != nil && p.ProbeFor == nil && p.Engine.Probe == nil && p.Engine.Tracer == nil {
+		return p.RunPoints(ctx, p, specs)
+	}
 	// Resolve instrumentation once, outside the hot loop: points pay a
 	// clock read only when someone is listening.
 	var pointHist *obs.Histogram

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"rlsched/internal/probe"
+	"rlsched/internal/sched"
+)
+
+// TestRunPointsDelegates proves RunManyCtx hands the whole expanded spec
+// list to a pluggable executor and returns its results untouched.
+func TestRunPointsDelegates(t *testing.T) {
+	p := DefaultProfile()
+	p.Replications = 1
+	var gotSpecs []RunSpec
+	sentinel := []sched.Result{{Policy: "a"}, {Policy: "b"}}
+	p.RunPoints = func(ctx context.Context, pp Profile, specs []RunSpec) ([]sched.Result, error) {
+		gotSpecs = append([]RunSpec(nil), specs...)
+		return sentinel, nil
+	}
+	specs := []RunSpec{
+		{Policy: Greedy, NumTasks: 10, Seed: 1},
+		{Policy: Greedy, NumTasks: 12, Seed: 2},
+	}
+	out, err := RunManyCtx(context.Background(), p, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSpecs, specs) {
+		t.Fatalf("executor saw %+v, want %+v", gotSpecs, specs)
+	}
+	if !reflect.DeepEqual(out, sentinel) {
+		t.Fatalf("results %+v, want the executor's %+v", out, sentinel)
+	}
+}
+
+// TestRunPointsBypassedForProbes pins the guard: in-process
+// instrumentation (probe recorders, tracers) cannot follow a point to a
+// remote executor, so the campaign must run locally whenever any is
+// attached.
+func TestRunPointsBypassedForProbes(t *testing.T) {
+	base := DefaultProfile()
+	base.Replications = 1
+	base.ObservationPeriod = 300
+	base.Workers = 1
+	specs := []RunSpec{{Policy: Greedy, NumTasks: 5, Seed: 1}}
+
+	for _, tc := range []struct {
+		name  string
+		mod   func(*Profile)
+		local bool
+	}{
+		{"plain", func(p *Profile) {}, false},
+		{"probefor", func(p *Profile) {
+			p.ProbeFor = func(int, RunSpec) *probe.Recorder { return nil }
+		}, true},
+		{"engine-probe", func(p *Profile) {
+			p.Engine.Probe = probe.NewRecorder(probe.Config{})
+		}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			var delegated atomic.Bool
+			p.RunPoints = func(ctx context.Context, pp Profile, sp []RunSpec) ([]sched.Result, error) {
+				delegated.Store(true)
+				return make([]sched.Result, len(sp)), nil
+			}
+			tc.mod(&p)
+			if _, err := RunManyCtx(context.Background(), p, specs); err != nil {
+				t.Fatal(err)
+			}
+			if delegated.Load() == tc.local {
+				t.Fatalf("delegated = %v, want %v", delegated.Load(), !tc.local)
+			}
+		})
+	}
+}
+
+// TestRunPointsFigureEquivalence runs a figure once locally and once
+// through a RunPoints executor that itself runs the points locally (the
+// cluster dispatcher's fallback shape); the figures must be deeply equal
+// — the executor seam adds no noise.
+func TestRunPointsFigureEquivalence(t *testing.T) {
+	p := DefaultProfile()
+	p.Replications = 1
+	p.ObservationPeriod = 300
+	p.LightTasks, p.HeavyTasks = 10, 15
+	p.Workers = 2
+
+	want, err := Figure10(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int64
+	pd := p
+	pd.RunPoints = func(ctx context.Context, pp Profile, specs []RunSpec) ([]sched.Result, error) {
+		calls.Add(1)
+		local := pp
+		local.RunPoints = nil
+		return RunManyCtx(ctx, local, specs)
+	}
+	got, err := Figure10(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("executor never engaged")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("figure through executor differs:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -168,3 +168,132 @@ func TestReduceDuplicateTerminalKeepsLast(t *testing.T) {
 		t.Fatalf("entries = %+v, want single done entry", entries)
 	}
 }
+
+// TestUnknownOpTolerated pins the forward-compatibility contract: a
+// journal containing record kinds from a future version replays without
+// error, Reduce folds the job entries it understands, and KnownOp lets
+// callers flag the strangers with a warning instead of failing.
+func TestUnknownOpTolerated(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	j.Append(Record{Op: OpAccepted, ID: "job-000001", Spec: json.RawMessage(`{"name":"a"}`)})
+	j.Close()
+
+	// A future daemon appended record kinds this version has never heard
+	// of — extra fields included.
+	path := filepath.Join(dir, fileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("opening spool: %v", err)
+	}
+	future := `{"op":"frobnicate","id":"job-000001","blob":"x","nested":{"k":[1,2]}}` + "\n" +
+		`{"op":"checkpoint","id":"job-000001","point":3}` + "\n"
+	if _, err := f.WriteString(future); err != nil {
+		t.Fatalf("writing future records: %v", err)
+	}
+	f.Close()
+
+	j2, _, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with future ops: %v", err)
+	}
+	j2.Append(Record{Op: OpTerminal, ID: "job-000001", State: "done", Result: json.RawMessage(`{}`)})
+	j2.Close()
+
+	_, recs, err := Open(dir)
+	if err != nil {
+		t.Fatalf("final reopen: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4 (unknown ops carried through)", len(recs))
+	}
+	var unknown int
+	for _, r := range recs {
+		if !KnownOp(r.Op) {
+			unknown++
+		}
+	}
+	if unknown != 2 {
+		t.Fatalf("KnownOp flagged %d records, want 2", unknown)
+	}
+	entries := Reduce(recs)
+	if len(entries) != 1 || entries[0].ID != "job-000001" || entries[0].State != "done" {
+		t.Fatalf("Reduce with future ops = %+v, want one done entry", entries)
+	}
+}
+
+func TestKnownOp(t *testing.T) {
+	for _, op := range []string{OpAccepted, OpTerminal, OpLease, OpCacheRef} {
+		if !KnownOp(op) {
+			t.Errorf("KnownOp(%q) = false, want true", op)
+		}
+	}
+	for _, op := range []string{"", "frobnicate", "Accepted"} {
+		if KnownOp(op) {
+			t.Errorf("KnownOp(%q) = true, want false", op)
+		}
+	}
+}
+
+// TestLeaseAndCacheRefRoundTrip pins the cluster record kinds: their
+// point/worker/key/result fields survive replay, Reduce leaves job
+// entries untouched by them, and CacheRefs surfaces exactly the refs of
+// unsettled jobs.
+func TestLeaseAndCacheRefRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	res := json.RawMessage(`{"ave_rt":1.25}`)
+	writes := []Record{
+		{Op: OpAccepted, ID: "job-000001", Spec: json.RawMessage(`{"name":"a"}`)},
+		{Op: OpLease, ID: "job-000001", Point: 0, Worker: "http://127.0.0.1:9001", Key: "sha256:aa"},
+		{Op: OpCacheRef, ID: "job-000001", Point: 0, Key: "sha256:aa", Result: res},
+		{Op: OpAccepted, ID: "job-000002", Spec: json.RawMessage(`{"name":"b"}`)},
+		{Op: OpCacheRef, ID: "job-000002", Point: 1, Key: "sha256:bb", Result: res},
+		{Op: OpTerminal, ID: "job-000002", State: "done", Result: json.RawMessage(`{}`)},
+		{Op: OpCacheRef, ID: "job-000404", Point: 0, Key: "sha256:cc", Result: res}, // orphan
+	}
+	for _, r := range writes {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	j.Close()
+
+	_, recs, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(recs) != len(writes) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(writes))
+	}
+	lease := recs[1]
+	if lease.Point != 0 || lease.Worker != "http://127.0.0.1:9001" || lease.Key != "sha256:aa" {
+		t.Errorf("lease round trip = %+v", lease)
+	}
+	ref := recs[2]
+	if ref.Point != 0 || ref.Key != "sha256:aa" || string(ref.Result) != string(res) {
+		t.Errorf("cacheref round trip = %+v", ref)
+	}
+
+	entries := Reduce(recs)
+	if len(entries) != 2 {
+		t.Fatalf("Reduce returned %d entries, want 2", len(entries))
+	}
+	if entries[0].ID != "job-000001" || entries[0].State != "" {
+		t.Errorf("entry 0 = %+v, want pending job-000001", entries[0])
+	}
+
+	refs := CacheRefs(recs)
+	if len(refs) != 1 {
+		t.Fatalf("CacheRefs returned %d records, want 1 (settled and orphan refs dropped)", len(refs))
+	}
+	if refs[0].ID != "job-000001" || refs[0].Key != "sha256:aa" {
+		t.Errorf("CacheRefs[0] = %+v", refs[0])
+	}
+}

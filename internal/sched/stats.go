@@ -41,6 +41,13 @@ type Stats struct {
 	runs                                                     atomic.Uint64
 }
 
+// Add folds one run's counters in (HeapHighWater by maximum). The
+// engine calls it once per Run; external executors — the cluster
+// dispatcher folding results that were computed remotely or served from
+// the content-addressed cache — call it so a job's aggregate stats stay
+// meaningful when its engine runs happened elsewhere.
+func (s *Stats) Add(r RunStats) { s.add(r) }
+
 // add folds one run's counters in (HeapHighWater by maximum).
 func (s *Stats) add(r RunStats) {
 	if s == nil {

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rlsched/internal/cache"
+	"rlsched/internal/cluster"
 	"rlsched/internal/config"
 	"rlsched/internal/experiments"
 	"rlsched/internal/sched"
@@ -110,6 +112,27 @@ type JobResult struct {
 	Points  []PointResult        `json:"points,omitempty"`
 }
 
+// FullResult is the payload of GET /v1/jobs/{id}/result?view=full for
+// JobPoints jobs submitted with "keep_results": true: every point's
+// full engine result (Collector excluded), in spec order. This is the
+// cluster lease wire shape — a coordinator rebuilds figures from these
+// byte-identically to a local run.
+type FullResult struct {
+	ID      string         `json:"id"`
+	Results []sched.Result `json:"results"`
+}
+
+// ClusterStatus is the payload of GET /v1/cluster.
+type ClusterStatus struct {
+	// Role is "coordinator" (a non-empty worker pool), "worker"
+	// (serves leases, never fans out) or "standalone".
+	Role string `json:"role"`
+	// Workers is the coordinator's pool snapshot.
+	Workers []cluster.WorkerStatus `json:"workers,omitempty"`
+	// Cache reports the content-addressed result cache counters.
+	Cache cache.Stats `json:"cache"`
+}
+
 // job is the in-memory record of one submitted job.
 type job struct {
 	id    string
@@ -128,12 +151,16 @@ type job struct {
 	// job serves an empty set.
 	series *seriesLog
 
-	mu        sync.Mutex
-	state     State
-	attempts  int // execution attempts so far (>1 after transient retries)
-	err       string
-	figures   []experiments.Figure
-	points    []PointResult
+	mu       sync.Mutex
+	state    State
+	attempts int // execution attempts so far (>1 after transient retries)
+	err      string
+	figures  []experiments.Figure
+	points   []PointResult
+	// results retains the full per-point engine results for keep_results
+	// jobs; nil otherwise. Runtime-only — never journaled — so a
+	// restored job serves only the summary.
+	results   []sched.Result
 	engine    *sched.RunStats    // aggregated engine counters, set at settle
 	cancel    context.CancelFunc // non-nil while running
 	cancelled bool               // cancellation requested

@@ -10,7 +10,9 @@
 //	POST   /v1/jobs             submit a config.JobSpec -> 202 + JobStatus
 //	GET    /v1/jobs             list all jobs (submission order)
 //	GET    /v1/jobs/{id}        job status snapshot
-//	GET    /v1/jobs/{id}/result finished payload (409 until done)
+//	GET    /v1/jobs/{id}/result finished payload (409 until done);
+//	                            ?view=full serves the full per-point
+//	                            engine results of "keep_results" jobs
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events progress stream (SSE, ends at terminal)
 //	GET    /v1/jobs/{id}/trace  retained engine trace (404 unless the job
@@ -23,9 +25,23 @@
 //	                            live series over SSE: full snapshot,
 //	                            then delta frames, reset frames when
 //	                            history is rewritten
+//	GET    /v1/cluster          cluster role, worker pool, cache stats
+//	POST   /v1/cluster/register add a worker to the pool at runtime
 //	GET    /healthz             liveness
 //	GET    /metrics             Prometheus text exposition; ?format=json
 //	                            serves the legacy flat-JSON counter view
+//
+// Every campaign point a job runs flows through a content-addressed
+// result cache keyed by the canonical hash of the point's spec, the
+// result-relevant profile fields and the engine version (see
+// internal/cache): a repeated point is served from memory or the cache
+// spool instead of re-simulated, which is sound because results are
+// bit-deterministic functions of their specs. With Options.Cluster the
+// daemon joins a cluster: a coordinator leases cache-miss points to
+// worker daemons over this same REST API (single-point keep_results
+// jobs) and reassembles their full results byte-identically, re-leasing
+// points lost to dead workers; a worker serves leases but never fans
+// out. See internal/cluster.
 //
 // Telemetry runs through internal/obs: every route is wrapped in HTTP
 // middleware (request counts, latency histograms, in-flight gauge,
@@ -64,6 +80,8 @@ import (
 	"sync"
 	"time"
 
+	"rlsched/internal/cache"
+	"rlsched/internal/cluster"
 	"rlsched/internal/config"
 	"rlsched/internal/experiments"
 	"rlsched/internal/journal"
@@ -102,6 +120,16 @@ type Options struct {
 	// Off by default: profiling endpoints expose internals and cost
 	// memory, so they are opt-in.
 	Pprof bool
+	// Cache configures the content-addressed result cache every campaign
+	// point flows through. The zero value is a memory-only cache with
+	// the default capacity; set Dir to persist entries across restarts.
+	Cache config.CacheSpec
+	// Cluster configures the daemon's cluster role: peers to fan
+	// campaign points out to (coordinator), or worker mode (serve leases,
+	// never fan out). The zero value is a standalone daemon — which
+	// still accepts runtime worker registrations via
+	// POST /v1/cluster/register.
+	Cluster config.ClusterSpec
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +158,19 @@ type Server struct {
 
 	// jn is the durable journal, nil when Options.SpoolDir is empty.
 	jn *journal.Journal
+
+	// cache is the content-addressed result store every campaign point
+	// flows through; never nil.
+	cache *cache.Store
+	// pool tracks cluster workers; nil in worker mode (a worker serves
+	// leases, it never fans out).
+	pool *cluster.Pool
+	// dispatcher routes campaign points through the cache and, when the
+	// pool has alive workers, across them; never nil.
+	dispatcher *cluster.Dispatcher
+	// aliveWorkers feeds the 429 Retry-After estimate; tests override
+	// it. Defaults to the pool's alive count (0 without a pool).
+	aliveWorkers func() int
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -245,6 +286,12 @@ func (m *metrics) foldEngine(snap sched.RunStats) {
 // queue — and the error return covers an unreadable or unwritable spool.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
+	if err := opts.Cache.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Cluster.Validate(); err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	log := opts.Logger
 	if log == nil {
@@ -264,6 +311,15 @@ func New(opts Options) (*Server, error) {
 		seriesPoll: time.Second,
 		retryBase:  time.Second,
 	}
+	// The result cache is always on: memory-only by default, spooled to
+	// disk when Options.Cache.Dir is set.
+	store, err := cache.Open(opts.Cache.Dir, opts.Cache.MaxEntries)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.cache = store
+
 	var pending []*job
 	if opts.SpoolDir != "" {
 		jn, recs, err := journal.Open(opts.SpoolDir)
@@ -272,6 +328,22 @@ func New(opts Options) (*Server, error) {
 			return nil, err
 		}
 		s.jn = jn
+		// Forward compatibility: record kinds from a newer daemon are
+		// carried through and skipped with a warning, never a startup
+		// failure.
+		for _, r := range recs {
+			if !journal.KnownOp(r.Op) {
+				log.Warn("journal: skipping unknown record kind", "op", r.Op, "job", r.ID)
+			}
+		}
+		// Cacherefs of unsettled jobs reseed the cache before the jobs
+		// re-enqueue, so a resumed fan-out re-runs only the points that
+		// never finished.
+		for _, r := range journal.CacheRefs(recs) {
+			if err := s.cache.Put(r.Key, r.Result); err != nil {
+				log.Warn("journal: cacheref not restored", "job", r.ID, "point", r.Point, "error", err.Error())
+			}
+		}
 		for _, e := range journal.Reduce(recs) {
 			// Continue the id sequence where the previous incarnation
 			// stopped, so restored and new ids never collide.
@@ -303,6 +375,81 @@ func New(opts Options) (*Server, error) {
 		reg.Gauge("queue_depth", "").Set(float64(len(s.queue)))
 		reg.Gauge("worker_utilization", "").Set(s.m.running.Value() / float64(opts.Jobs))
 	})
+
+	// Cluster role: a worker serves leases over the ordinary job API and
+	// never fans out; anything else keeps a pool, so peers can be named
+	// up front (-peers) or register themselves at runtime.
+	if !opts.Cluster.Worker {
+		s.pool = cluster.NewPool(cluster.PoolOptions{
+			Heartbeat: time.Duration(opts.Cluster.HeartbeatSec * float64(time.Second)),
+			DeadAfter: time.Duration(opts.Cluster.DeadAfterSec * float64(time.Second)),
+			Logger:    log,
+		})
+		for _, peer := range opts.Cluster.Peers {
+			if err := s.pool.Add(ctx, peer); err != nil {
+				// Not fatal: the heartbeat loop picks the peer up when it
+				// comes online.
+				log.Warn("cluster peer not reachable yet", "peer", peer, "error", err.Error())
+			}
+		}
+		s.pool.Start()
+	}
+	s.aliveWorkers = func() int {
+		if s.pool == nil {
+			return 0
+		}
+		return s.pool.AliveCount()
+	}
+	var jfn func(journal.Record)
+	if s.jn != nil {
+		jfn = func(r journal.Record) { _ = s.jn.Append(r) }
+	}
+	s.dispatcher = cluster.NewDispatcher(cluster.Options{
+		Cache: s.cache, Pool: s.pool, Journal: jfn, Registry: s.reg, Logger: log,
+	})
+
+	// Cache telemetry: the store keeps cumulative counters, the registry
+	// wants monotonic series — delta-sync at scrape time bridges them.
+	// Size gauges are set outright.
+	var (
+		cacheMu   sync.Mutex
+		cacheLast cache.Stats
+		cHits     = s.reg.Counter("cache_hits_total", "Content-addressed result cache hits.")
+		cMisses   = s.reg.Counter("cache_misses_total", "Content-addressed result cache misses.")
+		cPuts     = s.reg.Counter("cache_puts_total", "Entries written to the result cache.")
+		cBad      = s.reg.Counter("cache_bad_entries_total", "Corrupt cache entries discarded as misses.")
+		cMem      = s.reg.Gauge("cache_entries_mem", "Entries in the in-memory cache tier.")
+		cDisk     = s.reg.Gauge("cache_entries_disk", "Entries in the on-disk cache spool.")
+		cBytes    = s.reg.Gauge("cache_disk_bytes", "Bytes held by the on-disk cache spool.")
+		wAlive    = s.reg.Gauge("cluster_workers", "Cluster pool membership, by liveness.", obs.L("state", "alive"))
+		wDead     = s.reg.Gauge("cluster_workers", "Cluster pool membership, by liveness.", obs.L("state", "dead"))
+	)
+	s.reg.OnScrape(func(*obs.Registry) {
+		cs := s.cache.Stats()
+		cacheMu.Lock()
+		last := cacheLast
+		cacheLast = cs
+		cacheMu.Unlock()
+		cHits.Add(cs.Hits - last.Hits)
+		cMisses.Add(cs.Misses - last.Misses)
+		cPuts.Add(cs.Puts - last.Puts)
+		cBad.Add(cs.BadEntries - last.BadEntries)
+		cMem.Set(float64(cs.MemEntries))
+		cDisk.Set(float64(cs.DiskEntries))
+		cBytes.Set(float64(cs.DiskBytes))
+		var alive, dead int
+		if s.pool != nil {
+			for _, w := range s.pool.Snapshot() {
+				if w.Alive {
+					alive++
+				} else {
+					dead++
+				}
+			}
+		}
+		wAlive.Set(float64(alive))
+		wDead.Set(float64(dead))
+	})
 	// The runtime sampler publishes go_* gauges; the synchronous first
 	// sample means even an immediate scrape sees them.
 	s.sampler = obs.StartSampler(s.reg, 0, nil)
@@ -324,6 +471,8 @@ func New(opts Options) (*Server, error) {
 	handle("GET /v1/jobs/{id}/trace", s.handleTrace)
 	handle("GET /v1/jobs/{id}/series", s.handleSeries)
 	handle("GET /v1/jobs/{id}/series/stream", s.handleSeriesStream)
+	handle("GET /v1/cluster", s.handleClusterStatus)
+	handle("POST /v1/cluster/register", s.handleClusterRegister)
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /metrics", s.handleMetrics)
 	if opts.Pprof {
@@ -431,6 +580,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-drained
 	}
 	s.cancelAll() // release the base context in the graceful path too
+	if s.pool != nil {
+		s.pool.Stop()
+	}
 	s.sampler.Stop()
 	if s.jn != nil {
 		_ = s.jn.Close()
@@ -535,13 +687,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // retryAfterLocked estimates (in whole seconds, at least 1) how long a
 // bounced client should wait for a queue slot: the observed mean job
-// runtime times the jobs ahead of it. Callers hold s.mu.
+// runtime times the jobs ahead of it, spread over the daemon's real
+// drain capacity. Two corrections keep the estimate honest under the
+// cache and the cluster: points served from the cache cost nothing, so
+// the mean is discounted by the observed miss rate (floored at 5% — a
+// hot cache never promises instant slots), and a coordinator drains its
+// queue with every alive worker's help, not just its own job slots.
+// Callers hold s.mu.
 func (s *Server) retryAfterLocked() int {
 	mean := 1.0
 	if s.durN > 0 {
 		mean = s.durSum / float64(s.durN)
 	}
-	sec := int(math.Ceil(mean * float64(len(s.queue))))
+	miss := 1.0
+	if cs := s.cache.Stats(); cs.Lookups() > 0 {
+		miss = 1 - cs.HitRate()
+		if miss < 0.05 {
+			miss = 0.05
+		}
+	}
+	return retryAfterEstimate(mean, miss, len(s.queue), s.opts.Jobs, s.aliveWorkers())
+}
+
+// retryAfterEstimate is the Retry-After arithmetic, split out so the
+// policy is testable without staging a full queue: expected work per
+// queued job (mean runtime discounted by the cache miss rate) divided
+// by drain capacity (local job slots plus every alive worker's worth).
+func retryAfterEstimate(mean, missRate float64, queued, slots, workers int) int {
+	capacity := float64(slots) * (1 + float64(workers))
+	sec := int(math.Ceil(mean * missRate * float64(queued) / capacity))
 	if sec < 1 {
 		sec = 1
 	}
@@ -576,12 +750,65 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j.mu.Lock()
 	state := j.state
 	res := JobResult{ID: j.id, Figures: j.figures, Points: j.points}
+	full := j.results
 	j.mu.Unlock()
 	if state != StateDone {
 		writeError(w, http.StatusConflict, "job %s is %s, not done", j.id, state)
 		return
 	}
+	if r.URL.Query().Get("view") == "full" {
+		// Full results exist only for keep_results jobs and only in the
+		// incarnation that ran them (they are not journaled — a restored
+		// job serves the summary). A coordinator hitting this 404 simply
+		// re-leases the point.
+		if full == nil {
+			writeError(w, http.StatusNotFound,
+				"job %s retained no full results (submit with \"keep_results\": true)", j.id)
+			return
+		}
+		writeJSON(w, http.StatusOK, FullResult{ID: j.id, Results: full})
+		return
+	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handleClusterStatus reports the daemon's cluster role, its worker
+// pool and its cache counters.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	st := ClusterStatus{Role: "standalone", Cache: s.cache.Stats()}
+	if s.opts.Cluster.Worker {
+		st.Role = "worker"
+	} else if s.pool != nil {
+		st.Workers = s.pool.Snapshot()
+		if len(st.Workers) > 0 {
+			st.Role = "coordinator"
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleClusterRegister adds a worker to the pool at runtime. The probe
+// is synchronous, so a 200 with "alive": true means the worker can take
+// leases immediately.
+func (s *Server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
+	if s.pool == nil {
+		writeError(w, http.StatusConflict, "this daemon is a cluster worker; it does not take peers")
+		return
+	}
+	var body struct {
+		URL string `json:"url"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&body); err != nil || body.URL == "" {
+		writeError(w, http.StatusBadRequest, "body must be {\"url\": \"http://worker:port\"}")
+		return
+	}
+	if _, err := cluster.NormalizeURL(body.URL); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	err := s.pool.Add(r.Context(), body.URL)
+	s.log.InfoContext(r.Context(), "cluster worker registered", "worker", body.URL, "alive", err == nil)
+	writeJSON(w, http.StatusOK, map[string]any{"url": body.URL, "alive": err == nil})
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -827,6 +1054,13 @@ func (s *Server) runJob(j *job) {
 	prof.Logger = s.log
 	engStats := new(sched.Stats)
 	prof.Engine.Stats = engStats
+	// Campaign points route through the dispatcher: answered from the
+	// content-addressed cache when possible, leased to cluster workers
+	// when a pool has capacity, run locally otherwise. The runner
+	// bypasses the hook on its own whenever the job carries in-process
+	// instrumentation (trace ring, series probes) that only a local run
+	// can feed.
+	prof.RunPoints = s.dispatcher.Runner(j.id)
 	if j.ring != nil {
 		prof.Engine.Tracer = j.ring
 	}
@@ -837,6 +1071,7 @@ func (s *Server) runJob(j *job) {
 	var (
 		figures []experiments.Figure
 		points  []PointResult
+		full    []sched.Result
 		err     error
 	)
 	for attempt := 0; ; attempt++ {
@@ -850,7 +1085,7 @@ func (s *Server) runJob(j *job) {
 		if j.series != nil && attempt > 0 {
 			j.series.reset()
 		}
-		figures, points, err = s.execute(jobCtx, j, prof, attempt)
+		figures, points, full, err = s.execute(jobCtx, j, prof, attempt)
 		if err == nil || !errors.Is(err, ErrTransient) ||
 			attempt >= j.spec.MaxRetries || jobCtx.Err() != nil {
 			break
@@ -873,7 +1108,7 @@ func (s *Server) runJob(j *job) {
 	switch {
 	case err == nil:
 		j.state = StateDone
-		j.figures, j.points = figures, points
+		j.figures, j.points, j.results = figures, points, full
 		termResult, _ = json.Marshal(JobResult{ID: j.id, Figures: figures, Points: points})
 	case jobCtx.Err() == context.DeadlineExceeded && runCtx.Err() == nil:
 		j.state = StateTimeout
@@ -911,36 +1146,49 @@ func (s *Server) runJob(j *job) {
 	j.notify()
 }
 
-// execute runs one attempt of the job's workload under ctx.
-func (s *Server) execute(ctx context.Context, j *job, prof experiments.Profile, attempt int) ([]experiments.Figure, []PointResult, error) {
+// execute runs one attempt of the job's workload under ctx. The third
+// return is the full per-point engine results, kept only for JobPoints
+// jobs that asked for them (keep_results) — the cluster lease shape.
+func (s *Server) execute(ctx context.Context, j *job, prof experiments.Profile, attempt int) ([]experiments.Figure, []PointResult, []sched.Result, error) {
 	if s.faultInject != nil {
 		if err := s.faultInject(attempt); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	switch j.spec.Kind {
 	case config.JobFigure:
 		figures, err := runFigureJob(ctx, prof, j.spec.Figure)
-		return figures, nil, err
+		return figures, nil, nil, err
 	case config.JobPoints:
 		results, err := experiments.RunManyCtx(ctx, prof, j.spec.Points)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		points := make([]PointResult, len(results))
 		for i, res := range results {
 			points[i] = summarizePoint(j.spec.Points[i], res)
 		}
-		return nil, points, nil
+		var full []sched.Result
+		if j.spec.KeepResults {
+			// The Collector (per-task records) never crosses the wire:
+			// no summary or figure reads it, and it can dwarf the result
+			// scalars.
+			full = make([]sched.Result, len(results))
+			copy(full, results)
+			for i := range full {
+				full[i].Collector = nil
+			}
+		}
+		return nil, points, full, nil
 	case config.JobScale:
 		// One scenario, one point. Like any single point it is not
 		// cancellable mid-run; the deadline is checked before starting.
 		if err := ctx.Err(); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		c, err := j.spec.Scale.Config()
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		// Engine telemetry flows exactly as in profile-driven jobs: run
 		// counters into the settled status and /metrics, events into the
@@ -949,15 +1197,15 @@ func (s *Server) execute(ctx context.Context, j *job, prof experiments.Profile, 
 		c.Tracer = prof.Engine.Tracer
 		res, err := experiments.RunScale(c)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if prof.Progress != nil {
 			prof.Progress()
 		}
 		spec := experiments.RunSpec{Policy: c.Policy, NumTasks: c.NumTasks, Seed: c.Seed}
-		return nil, []PointResult{summarizePoint(spec, res)}, nil
+		return nil, []PointResult{summarizePoint(spec, res)}, nil, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown job kind %q", j.spec.Kind)
+		return nil, nil, nil, fmt.Errorf("unknown job kind %q", j.spec.Kind)
 	}
 }
 
