@@ -418,13 +418,23 @@ func WorkloadFromSlice(tasks []*Task) WorkloadSource { return workload.FromSlice
 // content-addressed result cache (sound because results are
 // bit-deterministic functions of their specs), and a daemon given peers
 // fans campaign points out across worker daemons over the ordinary REST
-// API. See the README's "Cluster mode" section.
+// API. The fan-out degrades rather than fails: transient lease errors
+// retry under capped backoff, straggling leases are hedged to an idle
+// worker (first result wins — safe because both copies return the same
+// bytes), per-worker circuit breakers stop traffic to repeatedly
+// failing workers, and with no usable worker the coordinator finishes
+// every point locally. See the README's "Cluster mode" and "Failure
+// modes & degradation" sections.
 type (
 	// CacheSpec configures the result cache of a JobServer: spool
-	// directory (empty: memory only) and in-memory entry bound.
+	// directory (empty: memory only) and in-memory entry bound. On
+	// persistent spool I/O errors the cache degrades to memory-only
+	// rather than failing jobs.
 	CacheSpec = config.CacheSpec
-	// ClusterSpec selects a daemon's cluster role: a worker list to
-	// coordinate, or Worker mode to serve leases only.
+	// ClusterSpec selects a daemon's cluster role — a worker list to
+	// coordinate, or Worker mode to serve leases only — plus the
+	// hardening knobs: probe timeout, circuit-breaker threshold and
+	// cooldown, and the hedging delay for straggling leases.
 	ClusterSpec = config.ClusterSpec
 	// CacheStats reports the result cache's hit/miss/size counters.
 	CacheStats = cache.Stats

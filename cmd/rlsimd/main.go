@@ -8,6 +8,8 @@
 //	rlsimd [-addr 127.0.0.1:8080] [-jobs 1] [-queue 16] [-grace 30s] [-spool DIR]
 //	       [-cache-dir DIR] [-cache-entries N]
 //	       [-peers URL,URL...] [-worker] [-heartbeat 5s] [-dead-after 15s]
+//	       [-probe-timeout 2s] [-breaker-threshold 3] [-breaker-cooldown 10s]
+//	       [-hedge-after 0]
 //	       [-pprof] [-log-level info] [-version]
 //
 // The daemon serves Prometheus-format metrics on /metrics and logs
@@ -27,9 +29,15 @@
 // -cache-entries bounds the in-memory tier. With -peers the daemon
 // coordinates: campaign points fan out across the named worker daemons
 // (more join at runtime via POST /v1/cluster/register), probed every
-// -heartbeat and retired after -dead-after without a successful probe.
-// With -worker the daemon only serves leases and never fans out. The
-// two roles are mutually exclusive.
+// -heartbeat (each probe bounded by -probe-timeout) and retired after
+// -dead-after without a successful probe. Per-worker circuit breakers
+// trip after -breaker-threshold consecutive failures and block the
+// worker for -breaker-cooldown before a half-open trial; straggling
+// leases older than -hedge-after are duplicated to an idle worker and
+// the first result wins (0 adapts to observed lease latency, a
+// negative value disables hedging). With -worker the daemon only
+// serves leases and never fans out. The two roles are mutually
+// exclusive.
 package main
 
 import (
@@ -87,7 +95,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	peers := fs.String("peers", "", "comma-separated worker base URLs to fan campaign points out to")
 	workerMode := fs.Bool("worker", false, "serve cluster leases only; never fan out to peers")
 	heartbeat := fs.Duration("heartbeat", 0, "cluster worker health-probe interval (0: default 5s)")
-	deadAfter := fs.Duration("dead-after", 0, "retire a worker after this long without a successful probe (0: default 15s)")
+	deadAfter := fs.Duration("dead-after", 0, "retire a worker after this long without a successful probe (0: default 3x heartbeat)")
+	probeTimeout := fs.Duration("probe-timeout", 0, "per-probe HTTP timeout, must be under -heartbeat (0: default 2s)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive lease/probe failures that trip a worker's circuit breaker (0: default 3)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "how long a tripped breaker blocks a worker before a half-open trial (0: default 2x heartbeat)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "straggling lease age before the point is hedged to a second worker (0: adaptive, negative: disabled)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	version := fs.Bool("version", false, "print build information and exit")
@@ -121,10 +133,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			MaxEntries: *cacheEntries,
 		},
 		Cluster: config.ClusterSpec{
-			Peers:        peerList,
-			Worker:       *workerMode,
-			HeartbeatSec: heartbeat.Seconds(),
-			DeadAfterSec: deadAfter.Seconds(),
+			Peers:              peerList,
+			Worker:             *workerMode,
+			HeartbeatSec:       heartbeat.Seconds(),
+			DeadAfterSec:       deadAfter.Seconds(),
+			ProbeTimeoutSec:    probeTimeout.Seconds(),
+			BreakerThreshold:   *breakerThreshold,
+			BreakerCooldownSec: breakerCooldown.Seconds(),
+			HedgeAfterSec:      hedgeAfter.Seconds(),
 		},
 	})
 	if err != nil {

@@ -27,6 +27,21 @@ func TestRunBadAddr(t *testing.T) {
 	}
 }
 
+// TestRunRejectsProbeTimeoutOverHeartbeat pins the flag validation: a
+// probe timeout at or above the heartbeat interval can never work (the
+// next probe would start before the last one timed out), so the daemon
+// must refuse to boot.
+func TestRunRejectsProbeTimeoutOverHeartbeat(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(context.Background(), []string{"-heartbeat", "1s", "-probe-timeout", "2s"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr=%q", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "probe_timeout_sec") {
+		t.Fatalf("stderr should name the offending knob: %q", errOut.String())
+	}
+}
+
 // TestRunServesAndStops boots the daemon on an ephemeral port, hits
 // /healthz, then cancels the context and expects a clean exit.
 func TestRunServesAndStops(t *testing.T) {

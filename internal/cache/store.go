@@ -2,13 +2,18 @@ package cache
 
 import (
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io/fs"
-	"os"
+	"log/slog"
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"rlsched/internal/chaos"
 )
 
 // DefaultMemEntries bounds the in-memory LRU when the caller passes 0:
@@ -16,12 +21,21 @@ import (
 // large results balloon the daemon.
 const DefaultMemEntries = 256
 
+// DefaultDegradeAfter is how many consecutive disk I/O failures the
+// spool tolerates before the store degrades to memory-only operation.
+const DefaultDegradeAfter = 4
+
 // Stats is a counter snapshot of a Store. Hits and Misses cover Get
 // calls (a disk hit counts as a hit); BadEntries counts corrupted spool
 // files detected and discarded.
 type Stats struct {
 	Hits, Misses, Puts uint64
 	BadEntries         uint64
+	// DiskFaults counts I/O errors (not corruption) touching the spool;
+	// Degraded reports whether the store has given up on the spool and
+	// now runs memory-only.
+	DiskFaults uint64
+	Degraded   bool
 	// MemEntries is the current LRU population; DiskEntries/DiskBytes
 	// size the on-disk spool (zero for a memory-only store).
 	MemEntries  int
@@ -41,12 +55,18 @@ func (s Stats) HitRate() float64 {
 }
 
 // envelope is the on-disk entry format. Carrying the key inside the file
-// makes corruption and cross-wiring (a file renamed or truncated by an
-// operator) detectable: an entry whose embedded key does not match the
-// requested address is discarded as bad.
+// makes cross-wiring (a file renamed by an operator) detectable, and the
+// value checksum makes silent bit-level corruption detectable: an entry
+// whose embedded key or checksum does not match is discarded as bad.
 type envelope struct {
 	Key   string          `json:"key"`
+	Sum   string          `json:"sum"`
 	Value json.RawMessage `json:"value"`
+}
+
+func valueSum(val []byte) string {
+	h := sha256.Sum256(val)
+	return hex.EncodeToString(h[:])
 }
 
 // entry is one LRU slot.
@@ -55,13 +75,33 @@ type entry struct {
 	val []byte
 }
 
+// Options configures OpenStore beyond the dir/size pair Open covers.
+type Options struct {
+	// Dir is the spool directory; "" keeps the store memory-only.
+	Dir string
+	// MaxMem bounds the LRU; <= 0 selects DefaultMemEntries.
+	MaxMem int
+	// FS is the filesystem under the spool; nil selects the real OS
+	// filesystem. Tests and the chaos harness substitute a chaos.FaultFS.
+	FS chaos.FS
+	// Logger receives the degradation warning; nil discards it.
+	Logger *slog.Logger
+	// DegradeAfter is how many consecutive disk faults flip the store to
+	// memory-only; 0 selects DefaultDegradeAfter, negative disables
+	// degradation (every fault is retried forever).
+	DegradeAfter int
+}
+
 // Store is a content-addressed byte store: a bounded in-memory LRU in
 // front of an optional fsynced on-disk spool sharded by hash prefix.
 // Safe for concurrent use. Values handed out by Get are shared — callers
 // must treat them as read-only.
 type Store struct {
-	dir    string // "" = memory-only
-	maxMem int
+	dir          string // "" = memory-only
+	maxMem       int
+	fsys         chaos.FS
+	log          *slog.Logger
+	degradeAfter int
 
 	mu  sync.Mutex
 	lru *list.List // front = most recently used; values are *entry
@@ -69,6 +109,9 @@ type Store struct {
 
 	hits, misses, puts, bad uint64
 	diskEntries, diskBytes  int64
+	diskFaults              uint64
+	consecFaults            int
+	degraded                bool
 }
 
 // Open creates a store. dir "" keeps it memory-only; otherwise the spool
@@ -76,33 +119,56 @@ type Store struct {
 // entry is parsed until requested) so Stats reflects what is already on
 // disk. maxMem <= 0 selects DefaultMemEntries.
 func Open(dir string, maxMem int) (*Store, error) {
-	if maxMem <= 0 {
-		maxMem = DefaultMemEntries
+	return OpenStore(Options{Dir: dir, MaxMem: maxMem})
+}
+
+// OpenStore creates a store from Options; see Open for the common path.
+func OpenStore(o Options) (*Store, error) {
+	if o.MaxMem <= 0 {
+		o.MaxMem = DefaultMemEntries
+	}
+	if o.FS == nil {
+		o.FS = chaos.OS()
+	}
+	if o.DegradeAfter == 0 {
+		o.DegradeAfter = DefaultDegradeAfter
 	}
 	s := &Store{
-		dir:    dir,
-		maxMem: maxMem,
-		lru:    list.New(),
-		idx:    make(map[string]*list.Element),
+		dir:          o.Dir,
+		maxMem:       o.MaxMem,
+		fsys:         o.FS,
+		log:          o.Logger,
+		degradeAfter: o.DegradeAfter,
+		lru:          list.New(),
+		idx:          make(map[string]*list.Element),
 	}
-	if dir == "" {
+	if s.dir == "" {
 		return s, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fsys.MkdirAll(s.dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: creating spool: %w", err)
 	}
-	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".json") {
-			return err
-		}
-		if info, err := d.Info(); err == nil {
-			s.diskEntries++
-			s.diskBytes += info.Size()
-		}
-		return nil
-	})
+	shards, err := s.fsys.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("cache: scanning spool: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		ents, err := s.fsys.ReadDir(filepath.Join(s.dir, shard.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("cache: scanning spool: %w", err)
+		}
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+				continue
+			}
+			if info, err := e.Info(); err == nil {
+				s.diskEntries++
+				s.diskBytes += info.Size()
+			}
+		}
 	}
 	return s, nil
 }
@@ -118,10 +184,30 @@ func (s *Store) path(key string) (string, bool) {
 	return filepath.Join(s.dir, hex[:2], hex[2:]+".json"), true
 }
 
+// diskFaultLocked accounts one spool I/O failure and flips the store to
+// memory-only once the consecutive-failure budget is spent. Callers
+// hold s.mu.
+func (s *Store) diskFaultLocked(op string, err error) {
+	s.diskFaults++
+	s.consecFaults++
+	if s.degraded || s.degradeAfter < 0 || s.consecFaults < s.degradeAfter {
+		return
+	}
+	s.degraded = true
+	if s.log != nil {
+		s.log.Warn("cache: disk spool degraded to memory-only",
+			"dir", s.dir, "op", op, "consecutive_faults", s.consecFaults, "err", err)
+	}
+}
+
+// diskOKLocked resets the consecutive-failure budget after a successful
+// spool operation. Callers hold s.mu.
+func (s *Store) diskOKLocked() { s.consecFaults = 0 }
+
 // Get returns the value stored under key. A memory miss falls through to
-// the disk spool; a spool entry that fails to parse or carries the wrong
-// embedded key is deleted and reported as a miss — corruption can cost a
-// re-run, never a wrong answer.
+// the disk spool; a spool entry that fails to parse, carries the wrong
+// embedded key, or fails its value checksum is deleted and reported as a
+// miss — corruption can cost a re-run, never a wrong answer.
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.Lock()
 	if el, ok := s.idx[key]; ok {
@@ -131,7 +217,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.mu.Unlock()
 		return val, true
 	}
-	if s.dir == "" {
+	if s.dir == "" || s.degraded {
 		s.misses++
 		s.mu.Unlock()
 		return nil, false
@@ -147,18 +233,21 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.mu.Unlock()
 		return nil, false
 	}
-	data, err := os.ReadFile(path)
+	data, err := s.fsys.ReadFile(path)
 	if err != nil {
 		s.mu.Lock()
 		s.misses++
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.diskFaultLocked("read", err)
+		}
 		s.mu.Unlock()
 		return nil, false
 	}
 	var env envelope
-	if err := json.Unmarshal(data, &env); err != nil || env.Key != key {
+	if err := json.Unmarshal(data, &env); err != nil || env.Key != key || env.Sum != valueSum(env.Value) {
 		// Corrupted or cross-wired entry: drop it so it cannot shadow a
 		// future Put, and miss.
-		_ = os.Remove(path)
+		_ = s.fsys.Remove(path)
 		s.mu.Lock()
 		s.bad++
 		s.misses++
@@ -169,6 +258,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	}
 	s.mu.Lock()
 	s.hits++
+	s.diskOKLocked()
 	s.insertLocked(key, env.Value)
 	s.mu.Unlock()
 	return env.Value, true
@@ -192,37 +282,54 @@ func (s *Store) insertLocked(key string, val []byte) {
 
 // Put stores val under key: into the LRU always, and — when the store
 // has a spool — onto disk via write-temp, fsync, rename, so a crash
-// leaves either the complete entry or no entry, never a torn one.
+// leaves either the complete entry or no entry, never a torn one. A
+// degraded store (see Options.DegradeAfter) keeps the memory copy and
+// skips the disk without error: losing persistence costs recomputation
+// after a restart, never the current campaign.
 func (s *Store) Put(key string, val []byte) error {
 	s.mu.Lock()
 	s.puts++
 	s.insertLocked(key, val)
+	degraded := s.degraded
 	s.mu.Unlock()
-	if s.dir == "" {
+	if s.dir == "" || degraded {
 		return nil
 	}
+	err := s.spool(key, val)
+	s.mu.Lock()
+	if err != nil {
+		s.diskFaultLocked("write", err)
+	} else {
+		s.diskOKLocked()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// spool performs the on-disk half of Put.
+func (s *Store) spool(key string, val []byte) error {
 	path, ok := s.path(key)
 	if !ok {
 		return fmt.Errorf("cache: malformed key %q", key)
 	}
-	data, err := json.Marshal(envelope{Key: key, Value: val})
+	data, err := json.Marshal(envelope{Key: key, Sum: valueSum(val), Value: val})
 	if err != nil {
 		return fmt.Errorf("cache: encoding entry: %w", err)
 	}
 	data = append(data, '\n')
 	shard := filepath.Dir(path)
-	if err := os.MkdirAll(shard, 0o755); err != nil {
+	if err := s.fsys.MkdirAll(shard, 0o755); err != nil {
 		return fmt.Errorf("cache: creating shard: %w", err)
 	}
 	var prev int64 = -1
-	if info, err := os.Stat(path); err == nil {
+	if info, err := s.fsys.Stat(path); err == nil {
 		prev = info.Size()
 	}
-	tmp, err := os.CreateTemp(shard, ".put-*")
+	tmp, err := s.fsys.CreateTemp(shard, ".put-*")
 	if err != nil {
 		return fmt.Errorf("cache: creating temp entry: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer s.fsys.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("cache: writing entry: %w", err)
@@ -234,7 +341,7 @@ func (s *Store) Put(key string, val []byte) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("cache: closing entry: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := s.fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("cache: installing entry: %w", err)
 	}
 	s.mu.Lock()
@@ -257,6 +364,8 @@ func (s *Store) Stats() Stats {
 		Misses:      s.misses,
 		Puts:        s.puts,
 		BadEntries:  s.bad,
+		DiskFaults:  s.diskFaults,
+		Degraded:    s.degraded,
 		MemEntries:  s.lru.Len(),
 		DiskEntries: s.diskEntries,
 		DiskBytes:   s.diskBytes,

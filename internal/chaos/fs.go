@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"io/fs"
+	"os"
+	"syscall"
+)
+
+// File is the slice of *os.File the cache spool and journal need.
+type File interface {
+	Write(p []byte) (int, error)
+	Close() error
+	Sync() error
+	Name() string
+}
+
+// FS abstracts the filesystem operations under the cache spool and the
+// journal, so a FaultFS can inject torn writes, ENOSPC and bit-flip
+// corruption without touching the real disk layer.
+type FS interface {
+	ReadFile(name string) ([]byte, error)
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	MkdirAll(name string, perm fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	Stat(name string) (fs.FileInfo, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+func (osFS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+
+// FaultFS wraps an FS with fault injection from a Schedule. Write-side
+// rules (OpWrite) are consulted once per Write call, keyed by file
+// path; read-side rules (OpRead) once per ReadFile.
+type FaultFS struct {
+	Inner FS
+	Sched *Schedule
+}
+
+// NewFaultFS wraps inner (nil means the real OS filesystem) with fault
+// injection from s.
+func NewFaultFS(s *Schedule, inner FS) *FaultFS {
+	if inner == nil {
+		inner = OS()
+	}
+	return &FaultFS{Inner: inner, Sched: s}
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	data, err := f.Inner.ReadFile(name)
+	if err != nil {
+		return data, err
+	}
+	if d := f.Sched.Decide(OpRead, name); d.Fault == BitFlip && len(data) > 0 {
+		out := append([]byte(nil), data...)
+		pos := f.Sched.hash(d.Rule, name, d.N)
+		out[pos%uint64(len(out))] ^= 1 << (pos % 8)
+		return out, nil
+	}
+	return data, nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	inner, err := f.Inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: f, key: name}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	inner, err := f.Inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	// Keyed by the directory, not the random temp name, so schedules
+	// stay deterministic across runs.
+	return &faultFile{File: inner, fs: f, key: dir + "/" + pattern}, nil
+}
+
+func (f *FaultFS) MkdirAll(name string, perm fs.FileMode) error {
+	if d := f.Sched.Decide(OpWrite, name); d.Fault == ENOSPC {
+		return &fs.PathError{Op: "mkdir", Path: name, Err: syscall.ENOSPC}
+	}
+	return f.Inner.MkdirAll(name, perm)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if d := f.Sched.Decide(OpWrite, newpath); d.Fault == ENOSPC {
+		return &fs.PathError{Op: "rename", Path: newpath, Err: syscall.ENOSPC}
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error                   { return f.Inner.Remove(name) }
+func (f *FaultFS) Truncate(name string, size int64) error     { return f.Inner.Truncate(name, size) }
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error)      { return f.Inner.Stat(name) }
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) { return f.Inner.ReadDir(name) }
+
+// faultFile consults the schedule on every Write, keyed by the path it
+// was opened under, so long-lived files (the journal) can see a fault
+// on one append and succeed on the next.
+type faultFile struct {
+	File
+	fs  *FaultFS
+	key string
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	switch d := f.fs.Sched.Decide(OpWrite, f.key); d.Fault {
+	case ENOSPC:
+		return 0, &fs.PathError{Op: "write", Path: f.key, Err: syscall.ENOSPC}
+	case TornWrite:
+		n := len(p) / 2
+		if n > 0 {
+			if m, err := f.File.Write(p[:n]); err != nil {
+				return m, err
+			}
+		}
+		return n, &fs.PathError{Op: "write", Path: f.key, Err: syscall.ENOSPC}
+	default:
+		return f.File.Write(p)
+	}
+}

@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport is an http.RoundTripper that consults a Schedule before
+// (and, for partitions, after) delegating to the real transport. The
+// operation key is host+path, so a rule can target one worker (match
+// its host), one route (match "/v1/jobs"), or everything.
+type Transport struct {
+	Inner http.RoundTripper
+	Sched *Schedule
+
+	// Sleep replaces time.Sleep for latency faults in tests.
+	Sleep func(time.Duration)
+}
+
+// NewTransport wraps inner (nil means http.DefaultTransport) with
+// fault injection from s.
+func NewTransport(s *Schedule, inner http.RoundTripper) *Transport {
+	return &Transport{Inner: inner, Sched: s}
+}
+
+func (t *Transport) inner() http.RoundTripper {
+	if t.Inner != nil {
+		return t.Inner
+	}
+	return http.DefaultTransport
+}
+
+// pause blocks for d or until the request's context ends, so a stalled
+// request still honours cancellation (and hedges can reclaim it).
+func (t *Transport) pause(req *http.Request, d time.Duration) error {
+	if t.Sleep != nil {
+		t.Sleep(d)
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-req.Context().Done():
+		return req.Context().Err()
+	}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	key := req.URL.Host + req.URL.Path
+	d := t.Sched.Decide(OpHTTP, key)
+	switch d.Fault {
+	case None:
+		return t.inner().RoundTrip(req)
+	case Latency, Stall:
+		delay := d.Delay
+		if d.Fault == Stall && delay <= 0 {
+			// A stall with no duration parks until the caller's context
+			// (lease timeout, hedge cancellation) reclaims the request.
+			delay = 24 * time.Hour
+		}
+		if err := t.pause(req, delay); err != nil {
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, err
+		}
+		return t.inner().RoundTrip(req)
+	case Drop:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("chaos: dropped %s %s (rule %d, n %d)", req.Method, key, d.Rule, d.N)
+	case Err5xx:
+		return synthesize(req, http.StatusServiceUnavailable,
+			`{"error": "chaos: injected 503"}`), nil
+	case Garbage:
+		return synthesize(req, http.StatusOK, "\x00\x7b\xffgarbage{{{not json"), nil
+	case Partition:
+		// One-way partition: the request reaches the server (which may
+		// do real work), but the response never makes it back.
+		resp, err := t.inner().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("chaos: response partitioned for %s %s (rule %d, n %d)", req.Method, key, d.Rule, d.N)
+	default:
+		return t.inner().RoundTrip(req)
+	}
+}
+
+// synthesize fabricates a complete response without touching the
+// network.
+func synthesize(req *http.Request, code int, body string) *http.Response {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

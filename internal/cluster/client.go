@@ -41,6 +41,22 @@ func deterministicf(format string, args ...any) *leaseError {
 type client struct {
 	hc   *http.Client
 	poll time.Duration
+	// timeout bounds each individual HTTP call (one submit, one status
+	// poll, one result fetch) — not the lease as a whole, which lasts as
+	// long as the point runs. It turns a stalled connection into a
+	// transient, re-leasable failure instead of a hung campaign.
+	timeout time.Duration
+}
+
+// call wraps one HTTP exchange in the per-request timeout.
+func (c *client) call(ctx context.Context, req *http.Request) (*http.Response, context.CancelFunc, error) {
+	cctx, cancel := context.WithTimeout(ctx, c.timeout)
+	resp, err := c.hc.Do(req.WithContext(cctx))
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	return resp, cancel, nil
 }
 
 // jobStatus is the subset of the server's JobStatus a lease needs.
@@ -67,15 +83,17 @@ func transientStatus(code int) bool {
 	return code == http.StatusTooManyRequests || code >= 500
 }
 
-// decodeError extracts the {"error": ...} body, falling back to the
-// status text.
-func decodeError(resp *http.Response) string {
+// decodeError extracts the {"error": ...} body. The second return
+// reports whether the body really carried the structured shape: a
+// response that did not — garbage from a mangling proxy, a partial
+// read — is not trustworthy evidence of a deterministic rejection.
+func decodeError(resp *http.Response) (string, bool) {
 	var eb errorBody
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-		return eb.Error
+		return eb.Error, true
 	}
-	return http.StatusText(resp.StatusCode)
+	return http.StatusText(resp.StatusCode), false
 }
 
 // submit posts a single-point job spec to a worker and returns the
@@ -90,14 +108,19 @@ func (c *client) submit(ctx context.Context, base string, spec config.JobSpec) (
 		return "", deterministicf("cluster: building lease request: %v", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(req)
+	resp, done, err := c.call(ctx, req)
 	if err != nil {
 		return "", transientf("cluster: submitting lease to %s: %v", base, err)
 	}
+	defer done()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		msg := decodeError(resp)
-		if transientStatus(resp.StatusCode) {
+		msg, structured := decodeError(resp)
+		// Deterministic rejection needs a well-formed refusal: a 4xx whose
+		// body carries the structured error shape. Anything else — 5xx,
+		// 429, a garbage body on any status — reads as a broken worker or
+		// a mangled response, and the point is re-leasable.
+		if transientStatus(resp.StatusCode) || !structured {
 			return "", transientf("cluster: worker %s refused lease (%d): %s", base, resp.StatusCode, msg)
 		}
 		return "", deterministicf("cluster: worker %s rejected lease (%d): %s", base, resp.StatusCode, msg)
@@ -141,10 +164,11 @@ func (c *client) status(ctx context.Context, base, id string) (jobStatus, *lease
 	if err != nil {
 		return jobStatus{}, deterministicf("cluster: building status request: %v", err)
 	}
-	resp, err := c.hc.Do(req)
+	resp, done, err := c.call(ctx, req)
 	if err != nil {
 		return jobStatus{}, transientf("cluster: polling %s: %v", base, err)
 	}
+	defer done()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return jobStatus{}, transientf("cluster: worker %s lost job %s (%d)", base, id, resp.StatusCode)
@@ -162,14 +186,16 @@ func (c *client) fullResults(ctx context.Context, base, id string) ([]sched.Resu
 	if err != nil {
 		return nil, deterministicf("cluster: building result request: %v", err)
 	}
-	resp, err := c.hc.Do(req)
+	resp, done, err := c.call(ctx, req)
 	if err != nil {
 		return nil, transientf("cluster: fetching result from %s: %v", base, err)
 	}
+	defer done()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		msg, _ := decodeError(resp)
 		return nil, transientf("cluster: worker %s would not serve result for %s (%d): %s",
-			base, id, resp.StatusCode, decodeError(resp))
+			base, id, resp.StatusCode, msg)
 	}
 	var view fullResultView
 	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
@@ -181,7 +207,7 @@ func (c *client) fullResults(ctx context.Context, base, id string) ([]sched.Resu
 // cancel tears a leased job down, best effort, when the coordinator no
 // longer wants it. Detached from ctx: it runs exactly because ctx died.
 func (c *client) cancel(base, id string) {
-	ctx, stop := context.WithTimeout(context.Background(), probeTimeout)
+	ctx, stop := context.WithTimeout(context.Background(), DefaultProbeTimeout)
 	defer stop()
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, base+"/v1/jobs/"+id, nil)
 	if err != nil {

@@ -18,8 +18,24 @@ import (
 	"rlsched/internal/sched"
 )
 
-// DefaultPoll is how often a lease polls its worker job's status.
-const DefaultPoll = 100 * time.Millisecond
+// Dispatcher defaults; see Options.
+const (
+	// DefaultPoll is how often a lease polls its worker job's status.
+	DefaultPoll = 100 * time.Millisecond
+	// DefaultLeaseTimeout bounds each individual lease HTTP call.
+	DefaultLeaseTimeout = 15 * time.Second
+	// DefaultRetryBase seeds the exponential backoff after a transient
+	// lease failure; DefaultRetryCap bounds its growth.
+	DefaultRetryBase = 100 * time.Millisecond
+	DefaultRetryCap  = 5 * time.Second
+	// DefaultHedgeAfter floors the hedge deadline: a point must straggle
+	// at least this long (and past 3x the p95 lease latency) before it is
+	// duplicated to a second worker.
+	DefaultHedgeAfter = time.Second
+	// hedgeSamples is how many recent lease durations feed the hedge
+	// deadline's latency percentile.
+	hedgeSamples = 128
+)
 
 // Options configures a Dispatcher.
 type Options struct {
@@ -39,11 +55,26 @@ type Options struct {
 	// Logger receives lease lifecycle warnings. Nil discards them.
 	Logger *slog.Logger
 	// Client issues lease requests; nil uses a private client without a
-	// global timeout (leases poll under the campaign context, and a
-	// leased point can legitimately run for minutes).
+	// global timeout (each individual call is bounded by LeaseTimeout;
+	// the lease as a whole lasts as long as the point runs).
 	Client *http.Client
 	// Poll is the lease status-poll interval; 0 selects DefaultPoll.
 	Poll time.Duration
+	// LeaseTimeout bounds each individual lease HTTP call (one submit,
+	// one status poll, one result fetch); 0 selects DefaultLeaseTimeout.
+	// A stalled worker connection becomes a transient, re-leasable
+	// failure instead of a hung campaign.
+	LeaseTimeout time.Duration
+	// RetryBase/RetryCap shape the capped exponential backoff (with
+	// deterministic jitter, see backoffDelay) a worker sits out after a
+	// transient lease failure; 0 selects the defaults.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// HedgeAfter floors the hedge deadline; 0 selects DefaultHedgeAfter,
+	// negative disables hedging entirely. Hedging a deterministic,
+	// content-addressed point is safe: whichever copy finishes first
+	// wins, and both produce identical bytes.
+	HedgeAfter time.Duration
 }
 
 // Dispatcher executes campaigns through the cache and, when a pool is
@@ -55,9 +86,19 @@ type Dispatcher struct {
 	log   *slog.Logger
 	cl    *client
 
+	retryBase, retryCap time.Duration
+	hedgeFloor          time.Duration
+	hedgeOff            bool
+
 	cached, remote, local *obs.Counter
 	leaseRetries          *obs.Counter
+	hedges, hedgeWins     *obs.Counter
 	leasesActive          *obs.Gauge
+
+	// Completed-lease latency ring feeding the hedge deadline.
+	lmu    sync.Mutex
+	lats   []time.Duration
+	latPos int
 }
 
 // NewDispatcher wires a dispatcher; see Options.
@@ -78,12 +119,32 @@ func NewDispatcher(opts Options) *Dispatcher {
 	if poll <= 0 {
 		poll = DefaultPoll
 	}
+	leaseTimeout := opts.LeaseTimeout
+	if leaseTimeout <= 0 {
+		leaseTimeout = DefaultLeaseTimeout
+	}
+	retryBase := opts.RetryBase
+	if retryBase <= 0 {
+		retryBase = DefaultRetryBase
+	}
+	retryCap := opts.RetryCap
+	if retryCap <= 0 {
+		retryCap = DefaultRetryCap
+	}
+	hedgeFloor := opts.HedgeAfter
+	if hedgeFloor == 0 {
+		hedgeFloor = DefaultHedgeAfter
+	}
 	return &Dispatcher{
-		cache: opts.Cache,
-		pool:  opts.Pool,
-		jn:    opts.Journal,
-		log:   log,
-		cl:    &client{hc: hc, poll: poll},
+		cache:      opts.Cache,
+		pool:       opts.Pool,
+		jn:         opts.Journal,
+		log:        log,
+		cl:         &client{hc: hc, poll: poll, timeout: leaseTimeout},
+		retryBase:  retryBase,
+		retryCap:   retryCap,
+		hedgeFloor: hedgeFloor,
+		hedgeOff:   opts.HedgeAfter < 0,
 		cached: reg.Counter("cluster_points_cached_total",
 			"Campaign points served from the content-addressed result cache."),
 		remote: reg.Counter("cluster_points_remote_total",
@@ -92,9 +153,44 @@ func NewDispatcher(opts Options) *Dispatcher {
 			"Campaign points executed locally by the dispatcher (no worker available)."),
 		leaseRetries: reg.Counter("cluster_lease_retries_total",
 			"Leases re-issued after a worker was lost mid-point."),
+		hedges: reg.Counter("cluster_hedges_total",
+			"Straggling leases duplicated to a second worker after the hedge deadline."),
+		hedgeWins: reg.Counter("cluster_hedge_wins_total",
+			"Hedged leases where the duplicate finished before the original."),
 		leasesActive: reg.Gauge("cluster_leases_active",
 			"Leases currently in flight on cluster workers."),
 	}
+}
+
+// observeLease feeds one completed lease duration into the latency ring.
+func (d *Dispatcher) observeLease(dur time.Duration) {
+	d.lmu.Lock()
+	defer d.lmu.Unlock()
+	if len(d.lats) < hedgeSamples {
+		d.lats = append(d.lats, dur)
+		return
+	}
+	d.lats[d.latPos] = dur
+	d.latPos = (d.latPos + 1) % hedgeSamples
+}
+
+// hedgeDelay is how long a lease may straggle before it is duplicated:
+// 3x the p95 of recent lease completions, floored by HedgeAfter so a
+// cold dispatcher (or one with uniformly fast leases) never hedges on
+// noise.
+func (d *Dispatcher) hedgeDelay() time.Duration {
+	d.lmu.Lock()
+	cp := append([]time.Duration(nil), d.lats...)
+	d.lmu.Unlock()
+	if len(cp) < 8 {
+		return d.hedgeFloor
+	}
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	p95 := cp[len(cp)*95/100]
+	if dl := 3 * p95; dl > d.hedgeFloor {
+		return dl
+	}
+	return d.hedgeFloor
 }
 
 // Runner returns a Profile.RunPoints executor bound to one job id (the
@@ -207,12 +303,33 @@ func (d *Dispatcher) putPoint(jobID string, i int, key string, r sched.Result) {
 	}
 }
 
+// flight is one point currently leased out during a fan-out.
+type flight struct {
+	idx     int
+	start   time.Time
+	holders map[string]bool // worker URLs currently leasing this point
+	hedged  bool            // a duplicate lease was issued
+	done    bool            // a result was accepted; late copies are discarded
+	cancels []context.CancelFunc
+}
+
+// fan-out worker modes returned by the shared scheduler.
+const (
+	modeExit  = iota // nothing left (or the campaign failed): leave
+	modeWait         // queue empty but points in flight: poll for hedge work
+	modeFresh        // a fresh point was popped from the queue
+	modeHedge        // a straggling flight was duplicated to this worker
+)
+
 // fanOut leases the missing points to alive workers — one in-flight
-// lease per worker — and returns the indices it could not place (worker
-// lost mid-lease with nobody left to retry, or no workers alive at all).
-// A deterministic point failure stops the fan-out and is returned for
-// the lowest failing index, exactly like the local runner's
-// forEachPoint.
+// lease per worker — and returns the indices it could not place (every
+// worker's breaker open with work left, or no workers alive at all).
+// Transient lease failures requeue the point and cost the worker a
+// backoff (capped exponential with deterministic jitter) and a breaker
+// strike; a straggling lease past the hedge deadline is duplicated to
+// an idle worker, first valid result wins. A deterministic point
+// failure stops the fan-out and is returned for the lowest failing
+// index, exactly like the local runner's forEachPoint.
 func (d *Dispatcher) fanOut(ctx context.Context, jobID string, p experiments.Profile, specs []experiments.RunSpec, keys []string, results []sched.Result, missing []int) ([]int, error) {
 	workers := d.pool.Alive()
 	if len(workers) == 0 {
@@ -220,25 +337,49 @@ func (d *Dispatcher) fanOut(ctx context.Context, jobID string, p experiments.Pro
 	}
 
 	var (
-		mu      sync.Mutex
-		queue   = append([]int(nil), missing...)
-		errIdx  = len(specs)
-		firstEr error
+		mu       sync.Mutex
+		queue    = append([]int(nil), missing...)
+		inflight = make(map[int]*flight)
+		errIdx   = len(specs)
+		firstEr  error
 	)
-	pop := func() (int, bool) {
+	// next hands a worker its next unit: a fresh point if the queue has
+	// one, else the oldest hedgeable straggler, else wait/exit.
+	next := func(w string) (*flight, int) {
 		mu.Lock()
 		defer mu.Unlock()
-		if firstEr != nil || len(queue) == 0 {
-			return 0, false
+		if firstEr != nil {
+			return nil, modeExit
 		}
-		i := queue[0]
-		queue = queue[1:]
-		return i, true
-	}
-	requeue := func(i int) {
-		mu.Lock()
-		queue = append(queue, i)
-		mu.Unlock()
+		if len(queue) > 0 {
+			i := queue[0]
+			queue = queue[1:]
+			fl := &flight{idx: i, start: time.Now(), holders: map[string]bool{w: true}}
+			inflight[i] = fl
+			return fl, modeFresh
+		}
+		if len(inflight) == 0 {
+			return nil, modeExit
+		}
+		if !d.hedgeOff {
+			delay := d.hedgeDelay()
+			var best *flight
+			for _, fl := range inflight {
+				if fl.done || fl.hedged || fl.holders[w] || time.Since(fl.start) < delay {
+					continue
+				}
+				if best == nil || fl.start.Before(best.start) ||
+					(fl.start.Equal(best.start) && fl.idx < best.idx) {
+					best = fl
+				}
+			}
+			if best != nil {
+				best.hedged = true
+				best.holders[w] = true
+				return best, modeHedge
+			}
+		}
+		return nil, modeWait
 	}
 	record := func(i int, err error) {
 		mu.Lock()
@@ -253,39 +394,102 @@ func (d *Dispatcher) fanOut(ctx context.Context, jobID string, p experiments.Pro
 		wg.Add(1)
 		go func(url string) {
 			defer wg.Done()
+			attempt := 0
 			for ctx.Err() == nil {
-				i, ok := pop()
-				if !ok {
+				fl, mode := next(url)
+				switch mode {
+				case modeExit:
 					return
+				case modeWait:
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(d.cl.poll):
+					}
+					continue
+				case modeHedge:
+					d.hedges.Inc()
+					d.log.Info("cluster: hedging straggling point",
+						"job", jobID, "point", fl.idx, "worker", url)
 				}
-				res, lerr := d.leasePoint(ctx, url, jobID, p, specs[i], i, keys[i])
+				leaseStart := time.Now()
+				lctx, lcancel := context.WithCancel(ctx)
+				mu.Lock()
+				fl.cancels = append(fl.cancels, lcancel)
+				mu.Unlock()
+				res, lerr := d.leasePoint(lctx, url, jobID, p, specs[fl.idx], fl.idx, keys[fl.idx])
+				lcancel()
 				if lerr == nil {
 					mu.Lock()
-					results[i] = res
+					if fl.done {
+						// The other copy of a hedged pair delivered first;
+						// results are byte-identical, so just drop this one.
+						mu.Unlock()
+						continue
+					}
+					fl.done = true
+					delete(inflight, fl.idx)
+					cancels := append([]context.CancelFunc(nil), fl.cancels...)
+					results[fl.idx] = res
 					mu.Unlock()
+					// First valid result wins: reclaim the loser's lease.
+					for _, c := range cancels {
+						c()
+					}
 					d.remote.Inc()
+					if mode == modeHedge {
+						d.hedgeWins.Inc()
+					}
+					d.observeLease(time.Since(leaseStart))
 					d.pool.countLease(url)
-					d.putPoint(jobID, i, keys[i], res)
+					d.putPoint(jobID, fl.idx, keys[fl.idx], res)
 					finishPoint(p, res)
+					attempt = 0
 					continue
 				}
-				if lerr.transient {
-					// The worker is lost, not the point: hand the index
-					// back for a surviving worker (or the local remainder)
-					// and retire this worker until a heartbeat revives it.
-					d.leaseRetries.Inc()
-					d.pool.MarkDead(url)
-					requeue(i)
-					d.log.Warn("cluster: lease lost, re-issuing point",
-						"job", jobID, "point", i, "worker", url, "error", lerr.Error())
+				mu.Lock()
+				wasDone := fl.done
+				if !wasDone {
+					delete(fl.holders, url)
+					if len(fl.holders) == 0 {
+						delete(inflight, fl.idx)
+						if lerr.transient {
+							queue = append(queue, fl.idx)
+						}
+					}
+				}
+				mu.Unlock()
+				if wasDone {
+					// The hedge winner cancelled this lease; the point is
+					// delivered and this is not the worker's fault.
+					continue
+				}
+				if !lerr.transient {
+					// Deterministic failure: re-running this spec anywhere
+					// reproduces it, so it fails the campaign at this index.
+					record(fl.idx, fmt.Errorf("point %d (%s n=%d cv=%g seed=%d): worker %s: %s",
+						fl.idx, specs[fl.idx].Policy, specs[fl.idx].NumTasks, specs[fl.idx].HeterogeneityCV,
+						specs[fl.idx].Seed, url, lerr.Error()))
 					return
 				}
-				// Deterministic failure: re-running this spec anywhere
-				// reproduces it, so it fails the campaign at this index.
-				record(i, fmt.Errorf("point %d (%s n=%d cv=%g seed=%d): worker %s: %s",
-					i, specs[i].Policy, specs[i].NumTasks, specs[i].HeterogeneityCV, specs[i].Seed,
-					url, lerr.Error()))
-				return
+				// The worker faltered, not the point: the index is already
+				// requeued for a surviving worker (or the local remainder);
+				// this worker takes a breaker strike and sits out a backoff.
+				d.leaseRetries.Inc()
+				d.pool.ReportFailure(url)
+				d.log.Warn("cluster: lease lost, re-issuing point",
+					"job", jobID, "point", fl.idx, "worker", url, "error", lerr.Error())
+				if !d.pool.usable(url) {
+					d.log.Warn("cluster: worker retired from fan-out",
+						"job", jobID, "worker", url)
+					return
+				}
+				attempt++
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(backoffDelay(d.retryBase, d.retryCap, url, attempt)):
+				}
 			}
 		}(w)
 	}

@@ -34,8 +34,8 @@ const (
 	// DefaultDeadAfter is how long a worker may go without a successful
 	// probe before Alive stops offering it leases.
 	DefaultDeadAfter = 3 * DefaultHeartbeat
-	// probeTimeout bounds a single health probe.
-	probeTimeout = 2 * time.Second
+	// DefaultProbeTimeout bounds a single health probe.
+	DefaultProbeTimeout = 2 * time.Second
 )
 
 // WorkerStatus is the wire snapshot of one pool member, served by GET
@@ -48,6 +48,9 @@ type WorkerStatus struct {
 	Failures uint64 `json:"failures"`
 	// Leased counts points this worker completed for the coordinator.
 	Leased uint64 `json:"leased"`
+	// Breaker is the worker's circuit-breaker state: "closed",
+	// "half-open" or "open".
+	Breaker string `json:"breaker"`
 }
 
 // worker is the pool's record of one peer daemon.
@@ -57,6 +60,7 @@ type worker struct {
 	lastOK   time.Time
 	failures uint64
 	leased   uint64
+	brk      breaker
 }
 
 // PoolOptions configures a Pool. The zero value is usable.
@@ -67,8 +71,19 @@ type PoolOptions struct {
 	// Heartbeat is the probe interval; 0 selects DefaultHeartbeat.
 	Heartbeat time.Duration
 	// DeadAfter is the staleness bound on a worker's last successful
-	// probe; 0 selects DefaultDeadAfter.
+	// probe; 0 selects 3x the heartbeat.
 	DeadAfter time.Duration
+	// ProbeTimeout bounds one health probe; 0 selects
+	// DefaultProbeTimeout. Must be below the heartbeat interval, or
+	// probes of a black-holed worker pile up on each other.
+	ProbeTimeout time.Duration
+	// BreakerThreshold is how many consecutive lease/probe failures trip
+	// a worker's circuit breaker; 0 selects DefaultBreakerThreshold.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker blocks all traffic
+	// to its worker before the half-open trial probe; 0 selects 2x the
+	// heartbeat, so recovery takes at most ~3 probe intervals.
+	BreakerCooldown time.Duration
 	// Logger receives worker state transitions. Nil discards them.
 	Logger *slog.Logger
 }
@@ -76,10 +91,13 @@ type PoolOptions struct {
 // Pool tracks the coordinator's workers and their health. Safe for
 // concurrent use.
 type Pool struct {
-	client    *http.Client
-	heartbeat time.Duration
-	deadAfter time.Duration
-	log       *slog.Logger
+	client       *http.Client
+	heartbeat    time.Duration
+	deadAfter    time.Duration
+	probeTimeout time.Duration
+	brkThreshold int
+	brkCooldown  time.Duration
+	log          *slog.Logger
 
 	mu      sync.Mutex
 	workers map[string]*worker
@@ -93,26 +111,38 @@ type Pool struct {
 // NewPool builds an empty pool; add workers with Add and begin
 // heartbeats with Start.
 func NewPool(opts PoolOptions) *Pool {
-	if opts.Client == nil {
-		opts.Client = &http.Client{Timeout: probeTimeout}
-	}
 	if opts.Heartbeat <= 0 {
 		opts.Heartbeat = DefaultHeartbeat
 	}
 	if opts.DeadAfter <= 0 {
-		opts.DeadAfter = DefaultDeadAfter
+		opts.DeadAfter = 3 * opts.Heartbeat
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = DefaultProbeTimeout
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: opts.ProbeTimeout}
+	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 2 * opts.Heartbeat
 	}
 	log := opts.Logger
 	if log == nil {
 		log = obs.NopLogger()
 	}
 	return &Pool{
-		client:    opts.Client,
-		heartbeat: opts.Heartbeat,
-		deadAfter: opts.DeadAfter,
-		log:       log,
-		workers:   make(map[string]*worker),
-		stop:      make(chan struct{}),
+		client:       opts.Client,
+		heartbeat:    opts.Heartbeat,
+		deadAfter:    opts.DeadAfter,
+		probeTimeout: opts.ProbeTimeout,
+		brkThreshold: opts.BreakerThreshold,
+		brkCooldown:  opts.BreakerCooldown,
+		log:          log,
+		workers:      make(map[string]*worker),
+		stop:         make(chan struct{}),
 	}
 }
 
@@ -139,7 +169,7 @@ func (p *Pool) Add(ctx context.Context, rawURL string) error {
 	p.mu.Lock()
 	w, ok := p.workers[u]
 	if !ok {
-		w = &worker{url: u}
+		w = &worker{url: u, brk: breaker{threshold: p.brkThreshold, cooldown: p.brkCooldown}}
 		p.workers[u] = w
 		p.order = append(p.order, u)
 	}
@@ -152,7 +182,7 @@ func (p *Pool) Add(ctx context.Context, rawURL string) error {
 
 // probe hits one worker's /healthz and records the outcome.
 func (p *Pool) probe(ctx context.Context, w *worker) error {
-	ctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	ctx, cancel := context.WithTimeout(ctx, p.probeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/healthz", nil)
 	if err == nil {
@@ -173,6 +203,7 @@ func (p *Pool) probe(ctx context.Context, w *worker) error {
 		}
 		w.alive = false
 		w.failures++
+		w.brk.failure(time.Now())
 		return err
 	}
 	if !w.alive {
@@ -180,12 +211,19 @@ func (p *Pool) probe(ctx context.Context, w *worker) error {
 	}
 	w.alive = true
 	w.lastOK = time.Now()
+	// A healthy probe heals a tripped breaker (the half-open trial) but
+	// must not erase a lease-failure streak while the breaker is closed:
+	// /healthz can be fine while /v1/jobs is broken.
+	if w.brk.state != BreakerClosed {
+		p.log.Info("cluster worker breaker closed after probe", "worker", w.url)
+		w.brk.success()
+	}
 	return nil
 }
 
-// MarkDead records a transport failure against a worker — a lease that
-// died mid-flight — so the dispatcher stops offering it work until a
-// heartbeat succeeds again.
+// MarkDead records that a worker is gone — its process died mid-lease —
+// tripping its breaker immediately so the dispatcher stops offering it
+// work until a half-open heartbeat probe succeeds again.
 func (p *Pool) MarkDead(u string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -195,22 +233,55 @@ func (p *Pool) MarkDead(u string) {
 		}
 		w.alive = false
 		w.failures++
+		w.brk.force(time.Now())
 	}
 }
 
-// countLease credits one completed lease to a worker.
+// ReportFailure records one failed lease against a worker. Unlike
+// MarkDead it does not retire the worker outright: the breaker trips
+// only after BreakerThreshold consecutive failures, so one flaky
+// response costs a retry, not the worker.
+func (p *Pool) ReportFailure(u string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w, ok := p.workers[u]
+	if !ok {
+		return
+	}
+	w.failures++
+	w.brk.failure(time.Now())
+	if w.brk.state == BreakerOpen {
+		if w.alive {
+			p.log.Warn("cluster worker breaker tripped", "worker", u, "consecutive_failures", w.brk.fails)
+		}
+		w.alive = false
+	}
+}
+
+// countLease credits one completed lease to a worker and clears its
+// failure streak — a finished lease is the strongest health signal.
 func (p *Pool) countLease(u string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if w, ok := p.workers[u]; ok {
 		w.leased++
+		w.brk.success()
 	}
 }
 
-// aliveLocked reports liveness under p.mu: the last probe succeeded and
-// is not stale.
+// usable reports whether the dispatcher should keep offering work to a
+// worker: probed alive recently and breaker closed.
+func (p *Pool) usable(u string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w, ok := p.workers[u]
+	return ok && p.aliveLocked(w)
+}
+
+// aliveLocked reports liveness under p.mu: the last probe succeeded, is
+// not stale, and the circuit breaker is closed.
 func (p *Pool) aliveLocked(w *worker) bool {
-	return w.alive && time.Since(w.lastOK) <= p.deadAfter
+	return w.alive && time.Since(w.lastOK) <= p.deadAfter && w.brk.state == BreakerClosed
 }
 
 // Alive returns the URLs of workers currently fit for leases, in
@@ -249,6 +320,7 @@ func (p *Pool) Snapshot() []WorkerStatus {
 		w := p.workers[u]
 		out = append(out, WorkerStatus{
 			URL: u, Alive: p.aliveLocked(w), Failures: w.failures, Leased: w.leased,
+			Breaker: w.brk.state.String(),
 		})
 	}
 	return out
@@ -274,12 +346,19 @@ func (p *Pool) Start() {
 	}()
 }
 
-// probeAll probes every worker once, concurrently.
+// probeAll probes every worker whose breaker admits traffic,
+// concurrently. An open breaker inside its cooldown is left alone
+// entirely — that is the point of the breaker — and grants exactly one
+// half-open trial probe once the cooldown elapses.
 func (p *Pool) probeAll() {
+	now := time.Now()
 	p.mu.Lock()
 	ws := make([]*worker, 0, len(p.order))
 	for _, u := range p.order {
-		ws = append(ws, p.workers[u])
+		w := p.workers[u]
+		if w.brk.allow(now) {
+			ws = append(ws, w)
+		}
 	}
 	p.mu.Unlock()
 	var wg sync.WaitGroup

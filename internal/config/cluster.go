@@ -46,6 +46,23 @@ type ClusterSpec struct {
 	// leases are re-issued elsewhere; 0 selects the cluster package's
 	// default.
 	DeadAfterSec float64 `json:"dead_after_sec,omitempty"`
+	// ProbeTimeoutSec bounds a single health probe in seconds; 0 selects
+	// the cluster package's default. Must stay below the heartbeat
+	// interval or probes of a black-holed worker pile up on each other.
+	ProbeTimeoutSec float64 `json:"probe_timeout_sec,omitempty"`
+	// BreakerThreshold is how many consecutive lease/probe failures trip
+	// a worker's circuit breaker; 0 selects the cluster package's
+	// default.
+	BreakerThreshold int `json:"breaker_threshold,omitempty"`
+	// BreakerCooldownSec is how long a tripped breaker blocks all
+	// traffic to its worker before the half-open trial probe; 0 selects
+	// the cluster package's default (2x the heartbeat).
+	BreakerCooldownSec float64 `json:"breaker_cooldown_sec,omitempty"`
+	// HedgeAfterSec floors the straggler-hedge deadline in seconds: a
+	// leased point must run at least this long (and past 3x the p95
+	// lease latency) before it is duplicated to a second worker. 0
+	// selects the cluster package's default; negative disables hedging.
+	HedgeAfterSec float64 `json:"hedge_after_sec,omitempty"`
 }
 
 // Coordinator reports whether the spec configures fan-out to peers.
@@ -62,6 +79,30 @@ func (c ClusterSpec) Validate() error {
 	}
 	if c.DeadAfterSec < 0 {
 		return fmt.Errorf("config: cluster dead_after_sec must be >= 0, got %g", c.DeadAfterSec)
+	}
+	if c.ProbeTimeoutSec < 0 {
+		return fmt.Errorf("config: cluster probe_timeout_sec must be >= 0, got %g", c.ProbeTimeoutSec)
+	}
+	if c.BreakerThreshold < 0 {
+		return fmt.Errorf("config: cluster breaker_threshold must be >= 0, got %d", c.BreakerThreshold)
+	}
+	if c.BreakerCooldownSec < 0 {
+		return fmt.Errorf("config: cluster breaker_cooldown_sec must be >= 0, got %g", c.BreakerCooldownSec)
+	}
+	// The probe timeout must fit inside the heartbeat interval, or the
+	// probes of a black-holed worker overlap. 5s mirrors the cluster
+	// package's default heartbeat.
+	heartbeat := c.HeartbeatSec
+	if heartbeat == 0 {
+		heartbeat = 5
+	}
+	if c.ProbeTimeoutSec >= heartbeat {
+		return fmt.Errorf("config: cluster probe_timeout_sec (%g) must be below the heartbeat interval (%gs)",
+			c.ProbeTimeoutSec, heartbeat)
+	}
+	if c.DeadAfterSec > 0 && c.DeadAfterSec < heartbeat {
+		return fmt.Errorf("config: cluster dead_after_sec (%g) must be at least one heartbeat interval (%gs)",
+			c.DeadAfterSec, heartbeat)
 	}
 	seen := make(map[string]bool, len(c.Peers))
 	for _, p := range c.Peers {

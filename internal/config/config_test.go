@@ -138,6 +138,17 @@ func TestClusterSpecValidate(t *testing.T) {
 		{"duplicate", ClusterSpec{Peers: []string{"http://w:7077", "http://w:7077/"}}, false},
 		{"negative heartbeat", ClusterSpec{HeartbeatSec: -1}, false},
 		{"negative dead-after", ClusterSpec{DeadAfterSec: -0.5}, false},
+		{"negative probe timeout", ClusterSpec{ProbeTimeoutSec: -1}, false},
+		{"negative breaker threshold", ClusterSpec{BreakerThreshold: -1}, false},
+		{"negative breaker cooldown", ClusterSpec{BreakerCooldownSec: -1}, false},
+		{"probe timeout under default heartbeat", ClusterSpec{ProbeTimeoutSec: 2}, true},
+		{"probe timeout at default heartbeat", ClusterSpec{ProbeTimeoutSec: 5}, false},
+		{"probe timeout under explicit heartbeat", ClusterSpec{HeartbeatSec: 0.5, ProbeTimeoutSec: 0.2}, true},
+		{"probe timeout over explicit heartbeat", ClusterSpec{HeartbeatSec: 0.5, ProbeTimeoutSec: 1}, false},
+		{"dead-after under heartbeat", ClusterSpec{HeartbeatSec: 2, DeadAfterSec: 1}, false},
+		{"dead-after over heartbeat", ClusterSpec{HeartbeatSec: 2, DeadAfterSec: 10}, true},
+		{"negative hedge disables", ClusterSpec{HedgeAfterSec: -1}, true},
+		{"breaker knobs", ClusterSpec{BreakerThreshold: 5, BreakerCooldownSec: 30}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

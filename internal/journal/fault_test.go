@@ -1,0 +1,137 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"rlsched/internal/chaos"
+)
+
+// TestTornAppendRecoversAcrossReopen injects a torn write (half the
+// record persisted, then the "disk" fails) and proves the journal comes
+// back exactly like it does from a crash: the clean prefix replays, the
+// torn fragment is cut away, and records appended after recovery are
+// reachable on the next replay — not shadowed by the fragment.
+func TestTornAppendRecoversAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpAccepted, ID: "job-000001", Spec: json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	sched := chaos.NewSchedule(3, chaos.Rule{Op: chaos.OpWrite, Match: fileName, Fault: chaos.TornWrite, Prob: 1, Limit: 1})
+	j2, recs, err := OpenFS(dir, chaos.NewFaultFS(sched, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+	if err := j2.Append(Record{Op: OpAccepted, ID: "job-000002", Spec: json.RawMessage(`{}`)}); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	// The fault budget is spent (Limit: 1); the retry goes through.
+	if err := j2.Append(Record{Op: OpAccepted, ID: "job-000003", Spec: json.RawMessage(`{}`)}); err != nil {
+		t.Fatalf("append after torn write: %v", err)
+	}
+	j2.Close()
+
+	_, recs, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// job-000003 landed after the torn fragment of job-000002, so only
+	// job-000001 replays — but Open truncated the tail, so from here on
+	// the journal is clean again.
+	if len(recs) != 1 || recs[0].ID != "job-000001" {
+		t.Fatalf("replay after torn append = %+v, want just job-000001", recs)
+	}
+	j3, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j3.Append(Record{Op: OpAccepted, ID: "job-000004", Spec: json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+	_, recs, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].ID != "job-000004" {
+		t.Fatalf("replay after recovery = %+v, want job-000001 then job-000004", recs)
+	}
+}
+
+// TestTornTailTruncatedAtOpen pins the recovery mechanics directly: a
+// crash-torn tail is physically removed from the spool at Open, so
+// subsequent appends are never hidden behind it.
+func TestTornTailTruncatedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Op: OpAccepted, ID: "job-000001", Spec: json.RawMessage(`{}`)})
+	j.Close()
+	path := filepath.Join(dir, fileName)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(clean, `{"op":"accepted","id":"job-0`...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(clean) {
+		t.Fatalf("torn tail survived Open:\ngot:  %q\nwant: %q", got, clean)
+	}
+}
+
+// TestAppendENOSPCSurfacesError proves a full disk is reported to the
+// caller (the server logs it and carries on — the journal is an
+// optimisation for restarts, not a correctness dependency) and that the
+// journal keeps working once space returns.
+func TestAppendENOSPCSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	sched := chaos.NewSchedule(4, chaos.Rule{Op: chaos.OpWrite, Match: fileName, Fault: chaos.ENOSPC, Prob: 1, Limit: 2})
+	j, _, err := OpenFS(dir, chaos.NewFaultFS(sched, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := j.Append(Record{Op: OpAccepted, ID: "job-000001"}); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("append %d: err = %v, want ENOSPC", i, err)
+		}
+	}
+	if err := j.Append(Record{Op: OpAccepted, ID: "job-000002", Spec: json.RawMessage(`{}`)}); err != nil {
+		t.Fatalf("append after space returned: %v", err)
+	}
+	j.Close()
+	_, recs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "job-000002" {
+		t.Fatalf("replay = %+v, want just job-000002", recs)
+	}
+}

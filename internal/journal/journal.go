@@ -29,12 +29,16 @@
 package journal
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"rlsched/internal/chaos"
 )
 
 // fileName is the journal file inside the spool directory.
@@ -110,7 +114,7 @@ type Entry struct {
 // concurrent use.
 type Journal struct {
 	mu sync.Mutex
-	f  *os.File
+	f  chaos.File
 }
 
 // Open creates the spool directory if needed, replays every record
@@ -118,50 +122,72 @@ type Journal struct {
 // — the typical trace of a crash mid-write — is dropped silently;
 // anything after it is unreachable and dropped with it.
 func Open(dir string) (*Journal, []Record, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(dir, nil)
+}
+
+// OpenFS is Open over an explicit filesystem; nil selects the real OS
+// filesystem. The seam exists for the chaos harness, which substitutes
+// a fault-injecting chaos.FaultFS to prove torn appends and full disks
+// behave like the crash cases the journal already survives.
+func OpenFS(dir string, fsys chaos.FS) (*Journal, []Record, error) {
+	if fsys == nil {
+		fsys = chaos.OS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("journal: creating spool: %w", err)
 	}
 	path := filepath.Join(dir, fileName)
-	recs, err := replay(path)
+	recs, clean, size, err := replay(fsys, path)
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if clean < size {
+		// Cut the torn tail off before appending: otherwise every future
+		// record lands after an unparsable fragment and is unreachable on
+		// the next replay.
+		if err := fsys.Truncate(path, clean); err != nil {
+			return nil, nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: opening spool: %w", err)
 	}
 	return &Journal{f: f}, recs, nil
 }
 
-// replay reads the journal, stopping at the first unparsable line (a
-// torn tail write).
-func replay(path string) ([]Record, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil, nil
+// replay reads the journal, stopping at the first unparsable or
+// unterminated line (a torn tail write). It returns the records, the
+// byte length of the clean prefix and the total file size, so Open can
+// truncate the tail away.
+func replay(fsys chaos.FS, path string) (recs []Record, clean, size int64, err error) {
+	data, err := fsys.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, 0, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("journal: reading spool: %w", err)
+		return nil, 0, 0, fmt.Errorf("journal: reading spool: %w", err)
 	}
-	defer f.Close()
-	var recs []Record
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
+	size = int64(len(data))
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // unterminated tail: the crash interrupted this write
+		}
+		line := data[off : off+nl]
+		next := off + nl + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			off, clean = next, int64(next)
 			continue
 		}
 		var r Record
 		if err := json.Unmarshal(line, &r); err != nil {
-			break // torn tail: the crash interrupted this write
+			break // torn tail terminated by a later append
 		}
 		recs = append(recs, r)
+		off, clean = next, int64(next)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("journal: scanning spool: %w", err)
-	}
-	return recs, nil
+	return recs, clean, size, nil
 }
 
 // Append writes one record and fsyncs it, so the record survives a crash

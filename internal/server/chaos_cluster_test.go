@@ -1,0 +1,340 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rlsched/internal/chaos"
+	"rlsched/internal/config"
+)
+
+// chaosCampaign is the canonical campaign every chaos schedule runs: six
+// deterministic points, enough for both workers to hold leases at once.
+func chaosCampaign() string {
+	var pts []string
+	for i := 0; i < 6; i++ {
+		pts = append(pts, fmt.Sprintf(`{"Policy": "greedy", "NumTasks": 20, "Seed": %d}`, i+1))
+	}
+	return `{"kind": "points", "points": [` + strings.Join(pts, ",") + `], "profile": ` + tinyProfile + `}`
+}
+
+var (
+	chaosBaseMu sync.Mutex
+	chaosBases  = map[string][]byte{}
+)
+
+// chaosBaseline runs the campaign once on a fault-free standalone daemon
+// and caches the result bytes; every fresh daemon numbers its first job
+// job-000001, so the whole payload is comparable byte for byte.
+func chaosBaseline(t *testing.T, body string) []byte {
+	t.Helper()
+	chaosBaseMu.Lock()
+	base, ok := chaosBases[body]
+	chaosBaseMu.Unlock()
+	if ok {
+		return base
+	}
+	_, solo := newTestServer(t, Options{})
+	base = runChaosJob(t, solo, body)
+	chaosBaseMu.Lock()
+	chaosBases[body] = base
+	chaosBaseMu.Unlock()
+	return base
+}
+
+// runChaosJob submits one campaign, waits for it to finish and returns
+// the result payload bytes.
+func runChaosJob(t *testing.T, ts *httptest.Server, body string) []byte {
+	t.Helper()
+	code, m := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %v", code, m)
+	}
+	id := m["id"].(string)
+	waitState(t, ts, id, StateDone)
+	code, raw := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: HTTP %d: %s", code, raw)
+	}
+	return raw
+}
+
+// promLabeled reads one labelled series from the exposition, e.g.
+// promLabeled(t, ts, "cluster_breaker_state", `worker="http://..."`).
+func promLabeled(t *testing.T, ts *httptest.Server, name, labels string) float64 {
+	t.Helper()
+	code, raw := getJSON(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d: %s", code, raw)
+	}
+	want := name + "{" + labels + "} "
+	for _, line := range strings.Split(string(raw), "\n") {
+		if rest, ok := strings.CutPrefix(line, want); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad value in %q: %v", name, line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %q not in exposition:\n%s", want, raw)
+	return 0
+}
+
+// chaosCoordinator builds two worker daemons and a coordinator whose
+// cluster traffic runs through the given schedule's fault transport.
+func chaosCoordinator(t *testing.T, sched *chaos.Schedule, spec config.ClusterSpec) (coord *httptest.Server, w1, w2 string) {
+	t.Helper()
+	ws1, ws2 := newWorkerServer(t), newWorkerServer(t)
+	spec.Peers = []string{ws1.URL, ws2.URL}
+	_, coord = newTestServer(t, Options{
+		Cluster:          spec,
+		ClusterTransport: chaos.NewTransport(sched, nil),
+	})
+	return coord, ws1.URL, ws2.URL
+}
+
+func hostOf(t *testing.T, raw string) string {
+	t.Helper()
+	u, err := url.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+// TestChaosSchedules is the deterministic fault matrix: each case runs
+// the same campaign through a coordinator and two workers under a
+// seeded fault schedule and must produce bytes identical to the
+// fault-free standalone baseline — the cluster under chaos adds
+// latency, never noise.
+func TestChaosSchedules(t *testing.T) {
+	body := chaosCampaign()
+	base := chaosBaseline(t, body)
+	cases := []struct {
+		name  string
+		seed  uint64
+		short bool // runs even under -short
+		rules func(h1, h2 string) []chaos.Rule
+	}{
+		{"latency", 101, true, func(h1, h2 string) []chaos.Rule {
+			return []chaos.Rule{{Op: chaos.OpHTTP, Fault: chaos.Latency, Delay: 20 * time.Millisecond, Prob: 0.4}}
+		}},
+		{"drop", 102, false, func(h1, h2 string) []chaos.Rule {
+			return []chaos.Rule{{Op: chaos.OpHTTP, Match: "/v1/jobs", Fault: chaos.Drop, Prob: 0.3}}
+		}},
+		{"5xx", 103, true, func(h1, h2 string) []chaos.Rule {
+			return []chaos.Rule{{Op: chaos.OpHTTP, Fault: chaos.Err5xx, Prob: 0.3}}
+		}},
+		{"garbage", 104, false, func(h1, h2 string) []chaos.Rule {
+			return []chaos.Rule{{Op: chaos.OpHTTP, Match: "/v1/jobs", Fault: chaos.Garbage, Prob: 0.3}}
+		}},
+		{"partition-one-worker", 105, false, func(h1, h2 string) []chaos.Rule {
+			return []chaos.Rule{{Op: chaos.OpHTTP, Match: h1, Fault: chaos.Partition, Prob: 1}}
+		}},
+		{"flaky-mix", 106, false, func(h1, h2 string) []chaos.Rule {
+			return []chaos.Rule{
+				{Op: chaos.OpHTTP, Fault: chaos.Latency, Delay: 10 * time.Millisecond, Prob: 0.3},
+				{Op: chaos.OpHTTP, Match: "/v1/jobs", Fault: chaos.Drop, Prob: 0.15},
+				{Op: chaos.OpHTTP, Match: "/v1/jobs", Fault: chaos.Err5xx, Prob: 0.15},
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if testing.Short() && !tc.short {
+				t.Skip("full chaos matrix runs without -short")
+			}
+			// Two fresh workers per case: their hosts feed the rules.
+			ws1, ws2 := newWorkerServer(t), newWorkerServer(t)
+			h1, h2 := hostOf(t, ws1.URL), hostOf(t, ws2.URL)
+			sched := chaos.NewSchedule(tc.seed, tc.rules(h1, h2)...)
+			_, coord := newTestServer(t, Options{
+				Cluster:          config.ClusterSpec{Peers: []string{ws1.URL, ws2.URL}},
+				ClusterTransport: chaos.NewTransport(sched, nil),
+			})
+			got := runChaosJob(t, coord, body)
+			if !bytes.Equal(got, base) {
+				t.Fatalf("result under %s chaos differs from fault-free baseline:\nchaos: %s\nbase:  %s",
+					tc.name, got, base)
+			}
+			if sched.Fired() == 0 && tc.name != "latency" {
+				t.Logf("schedule %s injected no faults this run (timing-dependent op counts)", tc.name)
+			}
+		})
+	}
+}
+
+// TestChaosReplaySameSeed runs the flaky-mix schedule twice from the
+// same seed on fresh daemons: both runs must complete byte-identical to
+// the baseline — chaos schedules never introduce flakes, whatever the
+// goroutine interleaving does to the op counts.
+func TestChaosReplaySameSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay pass runs without -short")
+	}
+	body := chaosCampaign()
+	base := chaosBaseline(t, body)
+	for run := 0; run < 2; run++ {
+		ws1, ws2 := newWorkerServer(t), newWorkerServer(t)
+		sched := chaos.NewSchedule(777,
+			chaos.Rule{Op: chaos.OpHTTP, Fault: chaos.Latency, Delay: 10 * time.Millisecond, Prob: 0.3},
+			chaos.Rule{Op: chaos.OpHTTP, Match: "/v1/jobs", Fault: chaos.Drop, Prob: 0.2},
+			chaos.Rule{Op: chaos.OpHTTP, Match: "/v1/jobs", Fault: chaos.Err5xx, Prob: 0.2},
+		)
+		_, coord := newTestServer(t, Options{
+			Cluster:          config.ClusterSpec{Peers: []string{ws1.URL, ws2.URL}},
+			ClusterTransport: chaos.NewTransport(sched, nil),
+		})
+		if got := runChaosJob(t, coord, body); !bytes.Equal(got, base) {
+			t.Fatalf("replay run %d differs from baseline:\ngot:  %s\nbase: %s", run, got, base)
+		}
+	}
+}
+
+// TestChaosHedgeStraggler delays one worker's first lease far past the
+// hedge deadline: the dispatcher must duplicate the straggling point to
+// the healthy worker, finish byte-identical, and count the hedge on
+// /metrics.
+func TestChaosHedgeStraggler(t *testing.T) {
+	body := chaosCampaign()
+	base := chaosBaseline(t, body)
+	ws1, ws2 := newWorkerServer(t), newWorkerServer(t)
+	h1 := hostOf(t, ws1.URL)
+	sched := chaos.NewSchedule(201, chaos.Rule{
+		Op: chaos.OpHTTP, Match: h1 + "/v1/jobs", Fault: chaos.Latency,
+		Delay: 2 * time.Second, Prob: 1, Limit: 1,
+	})
+	_, coord := newTestServer(t, Options{
+		Cluster: config.ClusterSpec{
+			Peers:         []string{ws1.URL, ws2.URL},
+			HedgeAfterSec: 0.1,
+		},
+		ClusterTransport: chaos.NewTransport(sched, nil),
+	})
+	if got := runChaosJob(t, coord, body); !bytes.Equal(got, base) {
+		t.Fatalf("hedged result differs from baseline:\ngot:  %s\nbase: %s", got, base)
+	}
+	if hedges := promValue(t, coord, "cluster_hedges_total"); hedges < 1 {
+		t.Fatalf("cluster_hedges_total = %v, want >= 1", hedges)
+	}
+}
+
+// TestChaosWorkerDeathOpensBreaker partitions one worker's job API away
+// permanently (health stays green — the failure mode a plain liveness
+// probe cannot see): its breaker must trip, the state must be visible
+// on /metrics and /v1/cluster, and the campaign still matches the
+// baseline.
+func TestChaosWorkerDeathOpensBreaker(t *testing.T) {
+	body := chaosCampaign()
+	base := chaosBaseline(t, body)
+	ws1, ws2 := newWorkerServer(t), newWorkerServer(t)
+	h1 := hostOf(t, ws1.URL)
+	sched := chaos.NewSchedule(202, chaos.Rule{
+		Op: chaos.OpHTTP, Match: h1 + "/v1/jobs", Fault: chaos.Partition, Prob: 1,
+	})
+	_, coord := newTestServer(t, Options{
+		Cluster: config.ClusterSpec{
+			Peers: []string{ws1.URL, ws2.URL},
+			// One strike trips the breaker; the long cooldown keeps the
+			// assertions below race-free.
+			BreakerThreshold: 1, BreakerCooldownSec: 60,
+		},
+		ClusterTransport: chaos.NewTransport(sched, nil),
+	})
+	if got := runChaosJob(t, coord, body); !bytes.Equal(got, base) {
+		t.Fatalf("result after worker death differs from baseline:\ngot:  %s\nbase: %s", got, base)
+	}
+	if retries := promValue(t, coord, "cluster_lease_retries_total"); retries < 1 {
+		t.Fatalf("cluster_lease_retries_total = %v, want >= 1", retries)
+	}
+	if st := promLabeled(t, coord, "cluster_breaker_state", `worker="`+ws1.URL+`"`); st != 2 {
+		t.Fatalf("cluster_breaker_state{%s} = %v, want 2 (open)", ws1.URL, st)
+	}
+	if st := promLabeled(t, coord, "cluster_breaker_state", `worker="`+ws2.URL+`"`); st != 0 {
+		t.Fatalf("cluster_breaker_state{%s} = %v, want 0 (closed)", ws2.URL, st)
+	}
+	for _, w := range clusterStatus(t, coord).Workers {
+		if w.URL == ws1.URL && w.Breaker != "open" {
+			t.Fatalf("dead worker breaker = %q, want open", w.Breaker)
+		}
+	}
+}
+
+// TestChaosCacheENOSPCDegrades fills the coordinator's cache spool disk:
+// after the fault budget the cache must degrade to memory-only — visible
+// as cache_degraded on /metrics — and the campaign must still complete
+// every point, byte-identical.
+func TestChaosCacheENOSPCDegrades(t *testing.T) {
+	body := chaosCampaign()
+	base := chaosBaseline(t, body)
+	ws1, ws2 := newWorkerServer(t), newWorkerServer(t)
+	sched := chaos.NewSchedule(203, chaos.Rule{
+		Op: chaos.OpWrite, Match: ".put-", Fault: chaos.ENOSPC, Prob: 1,
+	})
+	_, coord := newTestServer(t, Options{
+		Cluster: config.ClusterSpec{Peers: []string{ws1.URL, ws2.URL}},
+		Cache:   config.CacheSpec{Dir: t.TempDir()},
+		CacheFS: chaos.NewFaultFS(sched, nil),
+	})
+	if got := runChaosJob(t, coord, body); !bytes.Equal(got, base) {
+		t.Fatalf("degraded-cache result differs from baseline:\ngot:  %s\nbase: %s", got, base)
+	}
+	if deg := promValue(t, coord, "cache_degraded"); deg != 1 {
+		t.Fatalf("cache_degraded = %v, want 1", deg)
+	}
+	if faults := promValue(t, coord, "cache_disk_faults_total"); faults < 4 {
+		t.Fatalf("cache_disk_faults_total = %v, want >= DegradeAfter (4)", faults)
+	}
+	// Degraded-mode warm rerun: every point now comes from the memory
+	// tier, no worker involved.
+	if got := runChaosJob(t, coord, body); len(got) == 0 {
+		t.Fatal("warm rerun under degraded cache failed")
+	}
+}
+
+// TestChaosCacheBitflipAcrossRestart writes a real cache spool, then
+// restarts the daemon with every spool read bit-flipped: corruption must
+// read as misses — never a wrong result — and the recomputed campaign
+// must match the baseline exactly.
+func TestChaosCacheBitflipAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bitflip restart pass runs without -short")
+	}
+	body := chaosCampaign()
+	base := chaosBaseline(t, body)
+	dir := t.TempDir()
+
+	// First incarnation spools the campaign cleanly.
+	_, first := newTestServer(t, Options{Cache: config.CacheSpec{Dir: dir}})
+	if got := runChaosJob(t, first, body); !bytes.Equal(got, base) {
+		t.Fatalf("clean spool run differs from baseline:\ngot:  %s\nbase: %s", got, base)
+	}
+
+	// Second incarnation reads the same spool through a bit-flipping fs.
+	sched := chaos.NewSchedule(204, chaos.Rule{Op: chaos.OpRead, Fault: chaos.BitFlip, Prob: 1})
+	ws1, ws2 := newWorkerServer(t), newWorkerServer(t)
+	s2, coord := newTestServer(t, Options{
+		Cluster: config.ClusterSpec{Peers: []string{ws1.URL, ws2.URL}},
+		Cache:   config.CacheSpec{Dir: dir},
+		CacheFS: chaos.NewFaultFS(sched, nil),
+	})
+	if got := runChaosJob(t, coord, body); !bytes.Equal(got, base) {
+		t.Fatalf("bitflipped-cache result differs from baseline:\ngot:  %s\nbase: %s", got, base)
+	}
+	cs := s2.cache.Stats()
+	if cs.BadEntries < 1 {
+		t.Fatalf("cache stats = %+v, want corrupted entries counted", cs)
+	}
+	if cs.Hits != 0 {
+		t.Fatalf("cache stats = %+v: a bit-flipped entry served as a hit", cs)
+	}
+}

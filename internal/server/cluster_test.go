@@ -164,7 +164,12 @@ func TestClusterWorkerLossReLeases(t *testing.T) {
 	proxy := httptest.NewServer(dying)
 	t.Cleanup(proxy.Close)
 
-	_, coord := newTestServer(t, Options{Cluster: config.ClusterSpec{Peers: []string{good.URL, proxy.URL}}})
+	// Fast heartbeats: a lease failure alone no longer retires a worker
+	// (that takes a breaker streak); the probe loop is what notices the
+	// victim's death.
+	_, coord := newTestServer(t, Options{Cluster: config.ClusterSpec{
+		Peers: []string{good.URL, proxy.URL}, HeartbeatSec: 0.05,
+	}})
 	_, solo := newTestServer(t, Options{})
 
 	var pts []string
@@ -198,17 +203,31 @@ func TestClusterWorkerLossReLeases(t *testing.T) {
 		t.Fatalf("cluster_lease_retries_total = %v, want >= 1", got)
 	}
 	// Every point still completed remotely: the survivor picked up the
-	// victim's share, and the victim is now marked dead.
+	// victim's share.
 	st := clusterStatus(t, coord)
 	var leased uint64
 	for _, w := range st.Workers {
 		leased += w.Leased
-		if w.URL == proxy.URL && w.Alive {
-			t.Fatalf("dead worker still alive in pool: %+v", st.Workers)
-		}
 	}
 	if leased != 8 {
 		t.Fatalf("leased %d points, want 8: %+v", leased, st.Workers)
+	}
+	// The heartbeat loop notices the victim's death within a probe or two.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		victimDead := false
+		for _, w := range clusterStatus(t, coord).Workers {
+			if w.URL == proxy.URL && !w.Alive {
+				victimDead = true
+			}
+		}
+		if victimDead {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("probes never marked the dead worker down: %+v", clusterStatus(t, coord).Workers)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

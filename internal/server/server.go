@@ -81,6 +81,7 @@ import (
 	"time"
 
 	"rlsched/internal/cache"
+	"rlsched/internal/chaos"
 	"rlsched/internal/cluster"
 	"rlsched/internal/config"
 	"rlsched/internal/experiments"
@@ -130,6 +131,16 @@ type Options struct {
 	// still accepts runtime worker registrations via
 	// POST /v1/cluster/register.
 	Cluster config.ClusterSpec
+
+	// ClusterTransport, when non-nil, carries every cluster HTTP exchange
+	// (health probes and leases). The chaos harness injects latency,
+	// drops and partitions here; nil uses the default transport.
+	ClusterTransport http.RoundTripper
+	// CacheFS / JournalFS, when non-nil, replace the os filesystem under
+	// the cache spool and the job journal. The chaos harness injects torn
+	// writes, ENOSPC and bit-flips here; nil uses the real filesystem.
+	CacheFS   chaos.FS
+	JournalFS chaos.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -312,8 +323,12 @@ func New(opts Options) (*Server, error) {
 		retryBase:  time.Second,
 	}
 	// The result cache is always on: memory-only by default, spooled to
-	// disk when Options.Cache.Dir is set.
-	store, err := cache.Open(opts.Cache.Dir, opts.Cache.MaxEntries)
+	// disk when Options.Cache.Dir is set. Persistent spool faults degrade
+	// it to memory-only rather than failing campaigns.
+	store, err := cache.OpenStore(cache.Options{
+		Dir: opts.Cache.Dir, MaxMem: opts.Cache.MaxEntries,
+		FS: opts.CacheFS, Logger: log,
+	})
 	if err != nil {
 		cancel()
 		return nil, err
@@ -322,7 +337,7 @@ func New(opts Options) (*Server, error) {
 
 	var pending []*job
 	if opts.SpoolDir != "" {
-		jn, recs, err := journal.Open(opts.SpoolDir)
+		jn, recs, err := journal.OpenFS(opts.SpoolDir, opts.JournalFS)
 		if err != nil {
 			cancel()
 			return nil, err
@@ -380,10 +395,18 @@ func New(opts Options) (*Server, error) {
 	// never fans out; anything else keeps a pool, so peers can be named
 	// up front (-peers) or register themselves at runtime.
 	if !opts.Cluster.Worker {
+		var probeClient *http.Client
+		if opts.ClusterTransport != nil {
+			probeClient = &http.Client{Transport: opts.ClusterTransport}
+		}
 		s.pool = cluster.NewPool(cluster.PoolOptions{
-			Heartbeat: time.Duration(opts.Cluster.HeartbeatSec * float64(time.Second)),
-			DeadAfter: time.Duration(opts.Cluster.DeadAfterSec * float64(time.Second)),
-			Logger:    log,
+			Client:           probeClient,
+			Heartbeat:        time.Duration(opts.Cluster.HeartbeatSec * float64(time.Second)),
+			DeadAfter:        time.Duration(opts.Cluster.DeadAfterSec * float64(time.Second)),
+			ProbeTimeout:     time.Duration(opts.Cluster.ProbeTimeoutSec * float64(time.Second)),
+			BreakerThreshold: opts.Cluster.BreakerThreshold,
+			BreakerCooldown:  time.Duration(opts.Cluster.BreakerCooldownSec * float64(time.Second)),
+			Logger:           log,
 		})
 		for _, peer := range opts.Cluster.Peers {
 			if err := s.pool.Add(ctx, peer); err != nil {
@@ -404,8 +427,14 @@ func New(opts Options) (*Server, error) {
 	if s.jn != nil {
 		jfn = func(r journal.Record) { _ = s.jn.Append(r) }
 	}
+	var leaseClient *http.Client
+	if opts.ClusterTransport != nil {
+		leaseClient = &http.Client{Transport: opts.ClusterTransport}
+	}
 	s.dispatcher = cluster.NewDispatcher(cluster.Options{
 		Cache: s.cache, Pool: s.pool, Journal: jfn, Registry: s.reg, Logger: log,
+		Client:     leaseClient,
+		HedgeAfter: time.Duration(opts.Cluster.HedgeAfterSec * float64(time.Second)),
 	})
 
 	// Cache telemetry: the store keeps cumulative counters, the registry
@@ -418,12 +447,21 @@ func New(opts Options) (*Server, error) {
 		cMisses   = s.reg.Counter("cache_misses_total", "Content-addressed result cache misses.")
 		cPuts     = s.reg.Counter("cache_puts_total", "Entries written to the result cache.")
 		cBad      = s.reg.Counter("cache_bad_entries_total", "Corrupt cache entries discarded as misses.")
+		cFaults   = s.reg.Counter("cache_disk_faults_total", "Disk I/O failures observed by the cache spool.")
 		cMem      = s.reg.Gauge("cache_entries_mem", "Entries in the in-memory cache tier.")
 		cDisk     = s.reg.Gauge("cache_entries_disk", "Entries in the on-disk cache spool.")
 		cBytes    = s.reg.Gauge("cache_disk_bytes", "Bytes held by the on-disk cache spool.")
+		cDegraded = s.reg.Gauge("cache_degraded", "1 when persistent spool faults degraded the cache to memory-only.")
 		wAlive    = s.reg.Gauge("cluster_workers", "Cluster pool membership, by liveness.", obs.L("state", "alive"))
 		wDead     = s.reg.Gauge("cluster_workers", "Cluster pool membership, by liveness.", obs.L("state", "dead"))
 	)
+	// breakerValue renders a worker's breaker state as a gauge level:
+	// closed scrapes as 0, half-open as 1, open as 2.
+	breakerValue := map[string]float64{
+		cluster.BreakerClosed.String():   0,
+		cluster.BreakerHalfOpen.String(): 1,
+		cluster.BreakerOpen.String():     2,
+	}
 	s.reg.OnScrape(func(*obs.Registry) {
 		cs := s.cache.Stats()
 		cacheMu.Lock()
@@ -434,9 +472,15 @@ func New(opts Options) (*Server, error) {
 		cMisses.Add(cs.Misses - last.Misses)
 		cPuts.Add(cs.Puts - last.Puts)
 		cBad.Add(cs.BadEntries - last.BadEntries)
+		cFaults.Add(cs.DiskFaults - last.DiskFaults)
 		cMem.Set(float64(cs.MemEntries))
 		cDisk.Set(float64(cs.DiskEntries))
 		cBytes.Set(float64(cs.DiskBytes))
+		if cs.Degraded {
+			cDegraded.Set(1)
+		} else {
+			cDegraded.Set(0)
+		}
 		var alive, dead int
 		if s.pool != nil {
 			for _, w := range s.pool.Snapshot() {
@@ -445,6 +489,9 @@ func New(opts Options) (*Server, error) {
 				} else {
 					dead++
 				}
+				s.reg.Gauge("cluster_breaker_state",
+					"Per-worker circuit breaker: 0 closed, 1 half-open, 2 open.",
+					obs.L("worker", w.URL)).Set(breakerValue[w.Breaker])
 			}
 		}
 		wAlive.Set(float64(alive))
