@@ -10,6 +10,7 @@ import (
 	"rlsched/internal/config"
 	"rlsched/internal/core"
 	"rlsched/internal/experiments"
+	"rlsched/internal/obs/span"
 	"rlsched/internal/platform"
 	"rlsched/internal/probe"
 	"rlsched/internal/report"
@@ -448,6 +449,21 @@ type (
 	// for jobs submitted with "keep_results": true — the cluster lease
 	// wire shape.
 	FullJobResult = server.FullResult
+)
+
+// Distributed tracing: jobs submitted with "spans": true record a
+// bounded per-trace span buffer across the campaign pipeline —
+// coordinator dispatch, cache lookups, worker leases (stitched over
+// the traceparent header) and local engine runs — served by
+// GET /v1/jobs/{id}/spans as JSON or as a self-contained HTML
+// waterfall with ?format=html.
+type (
+	// SpanRecord is one finished span on the wire: trace/span/parent
+	// IDs, wall-clock bounds in Unix nanoseconds and typed attributes.
+	SpanRecord = span.Record
+	// JobSpansResponse is the payload of GET /v1/jobs/{id}/spans:
+	// the trace ID plus every retained span and the drop counter.
+	JobSpansResponse = server.SpansResponse
 )
 
 // CacheEngineVersion names the engine's deterministic-output contract;

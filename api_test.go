@@ -1,9 +1,14 @@
 package rlsched_test
 
 import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"rlsched"
 )
@@ -195,6 +200,74 @@ func TestCheckpointThroughAPI(t *testing.T) {
 	greedy, _ := rlsched.NewPolicy(rlsched.Greedy)
 	if err := rlsched.SaveAdaptiveRLCheckpoint(&sb, greedy); err == nil {
 		t.Fatal("expected error for non-adaptive policy")
+	}
+}
+
+// TestJobSpansThroughAPI drives the tracing surface through the public
+// aliases alone: an embedded JobServer runs a span-traced job and the
+// /spans payload decodes into JobSpansResponse with well-formed
+// SpanRecord entries.
+func TestJobSpansThroughAPI(t *testing.T) {
+	srv, err := rlsched.NewJobServer(rlsched.JobServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body := `{"kind": "points", "spans": true,
+		"points": [{"Policy": "greedy", "NumTasks": 20, "Seed": 1}],
+		"profile": {"Replications": 1, "ObservationPeriod": 300, "LightTasks": 20, "HeavyTasks": 30, "Workers": 1}}`
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st rlsched.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(20 * time.Second)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished (state %s)", st.ID, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+
+	r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("spans: HTTP %d", r.StatusCode)
+	}
+	var sr rlsched.JobSpansResponse
+	if err := json.NewDecoder(r.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.ID != st.ID || len(sr.TraceID) != 32 || sr.Dropped != 0 || len(sr.Spans) == 0 {
+		t.Fatalf("spans payload: id=%q trace=%q dropped=%d spans=%d",
+			sr.ID, sr.TraceID, sr.Dropped, len(sr.Spans))
+	}
+	var root rlsched.SpanRecord
+	for _, rec := range sr.Spans {
+		if rec.ParentID == "" {
+			root = rec
+		}
+	}
+	if root.Name != "job.run" || root.EndUnixNs < root.StartUnixNs {
+		t.Fatalf("root span: %+v", root)
 	}
 }
 

@@ -14,7 +14,11 @@
 //
 // The daemon serves Prometheus-format metrics on /metrics and logs
 // structured JSON lines to stderr; -pprof additionally mounts
-// net/http/pprof under /debug/pprof/ for live profiling.
+// net/http/pprof under /debug/pprof/ for live profiling. Jobs
+// submitted with "spans": true record a distributed trace of the
+// campaign pipeline — stitched across workers in cluster mode — served
+// by GET /v1/jobs/{id}/spans as JSON or an HTML waterfall
+// (?format=html).
 //
 // On SIGINT/SIGTERM the daemon stops accepting jobs and waits up to
 // -grace for running jobs to finish before cancelling them.

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"strings"
 	"testing"
@@ -89,6 +90,113 @@ func TestMetricsSmoke(t *testing.T) {
 		if !names[want] {
 			t.Fatalf("scrape missing %s:\n%s", want, buf.String())
 		}
+	}
+}
+
+// TestSpansSmoke is the tracing smoke check CI runs against a real
+// daemon process path: boot rlsimd, run a tiny span-traced job, fetch
+// GET /v1/jobs/{id}/spans and validate the JSON shape — well-formed
+// trace and span IDs, the job.run root present, every parent resolved.
+func TestSpansSmoke(t *testing.T) {
+	addr, stop := bootDaemon(t)
+	defer stop()
+	base := "http://" + addr
+
+	body := `{"kind": "points", "spans": true,
+		"points": [{"Policy": "greedy", "NumTasks": 20, "Seed": 1}],
+		"profile": {"Replications": 1, "ObservationPeriod": 300, "LightTasks": 20, "HeavyTasks": 30, "Workers": 1}}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: HTTP %d, id %q", resp.StatusCode, st.ID)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished (state %s)", st.ID, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		r, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+
+	r, err := http.Get(base + "/v1/jobs/" + st.ID + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("spans: HTTP %d", r.StatusCode)
+	}
+	var sr struct {
+		ID      string `json:"id"`
+		TraceID string `json:"trace_id"`
+		Dropped uint64 `json:"dropped"`
+		Spans   []struct {
+			SpanID   string `json:"span_id"`
+			ParentID string `json:"parent_id"`
+			Name     string `json:"name"`
+			StartNs  int64  `json:"start_unix_ns"`
+			EndNs    int64  `json:"end_unix_ns"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&sr); err != nil {
+		t.Fatalf("spans payload does not parse: %v", err)
+	}
+	hexOK := func(s string, n int) bool {
+		if len(s) != n {
+			return false
+		}
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+				return false
+			}
+		}
+		return true
+	}
+	if sr.ID != st.ID || !hexOK(sr.TraceID, 32) || sr.Dropped != 0 {
+		t.Fatalf("spans shape: id=%q trace=%q dropped=%d", sr.ID, sr.TraceID, sr.Dropped)
+	}
+	ids := make(map[string]bool, len(sr.Spans))
+	for _, s := range sr.Spans {
+		if !hexOK(s.SpanID, 16) {
+			t.Fatalf("span_id %q is not 16 lowercase hex digits", s.SpanID)
+		}
+		ids[s.SpanID] = true
+	}
+	roots, sawJobRun := 0, false
+	for _, s := range sr.Spans {
+		if s.EndNs < s.StartNs {
+			t.Fatalf("span %s (%s) ends before it starts", s.SpanID, s.Name)
+		}
+		if s.Name == "job.run" {
+			sawJobRun = true
+		}
+		if s.ParentID == "" {
+			roots++
+		} else if !ids[s.ParentID] {
+			t.Fatalf("span %s (%s) orphaned: parent %s missing", s.SpanID, s.Name, s.ParentID)
+		}
+	}
+	if roots != 1 || !sawJobRun {
+		t.Fatalf("trace has %d roots (want 1), job.run present = %v:\n%+v", roots, sawJobRun, sr.Spans)
 	}
 }
 

@@ -204,23 +204,42 @@ func (s *Store) diskFaultLocked(op string, err error) {
 // spool operation. Callers hold s.mu.
 func (s *Store) diskOKLocked() { s.consecFaults = 0 }
 
+// Tier identifies which layer of the store served a lookup. The
+// dispatcher attaches it to cache.lookup spans so a campaign waterfall
+// distinguishes a microsecond memory hit from a disk read from a miss
+// that cost a full re-simulation.
+type Tier string
+
+// Lookup tiers, from fastest to "not here".
+const (
+	TierMemory Tier = "memory"
+	TierDisk   Tier = "disk"
+	TierMiss   Tier = "miss"
+)
+
 // Get returns the value stored under key. A memory miss falls through to
 // the disk spool; a spool entry that fails to parse, carries the wrong
 // embedded key, or fails its value checksum is deleted and reported as a
 // miss — corruption can cost a re-run, never a wrong answer.
 func (s *Store) Get(key string) ([]byte, bool) {
+	val, tier := s.GetTier(key)
+	return val, tier != TierMiss
+}
+
+// GetTier is Get, additionally reporting which tier served the value.
+func (s *Store) GetTier(key string) ([]byte, Tier) {
 	s.mu.Lock()
 	if el, ok := s.idx[key]; ok {
 		s.lru.MoveToFront(el)
 		s.hits++
 		val := el.Value.(*entry).val
 		s.mu.Unlock()
-		return val, true
+		return val, TierMemory
 	}
 	if s.dir == "" || s.degraded {
 		s.misses++
 		s.mu.Unlock()
-		return nil, false
+		return nil, TierMiss
 	}
 	s.mu.Unlock()
 
@@ -231,7 +250,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.mu.Lock()
 		s.misses++
 		s.mu.Unlock()
-		return nil, false
+		return nil, TierMiss
 	}
 	data, err := s.fsys.ReadFile(path)
 	if err != nil {
@@ -241,7 +260,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 			s.diskFaultLocked("read", err)
 		}
 		s.mu.Unlock()
-		return nil, false
+		return nil, TierMiss
 	}
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil || env.Key != key || env.Sum != valueSum(env.Value) {
@@ -254,14 +273,14 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.diskEntries--
 		s.diskBytes -= int64(len(data))
 		s.mu.Unlock()
-		return nil, false
+		return nil, TierMiss
 	}
 	s.mu.Lock()
 	s.hits++
 	s.diskOKLocked()
 	s.insertLocked(key, env.Value)
 	s.mu.Unlock()
-	return env.Value, true
+	return env.Value, TierDisk
 }
 
 // insertLocked adds (or refreshes) a memory entry and evicts past the

@@ -10,8 +10,29 @@ import (
 	"time"
 
 	"rlsched/internal/config"
+	"rlsched/internal/obs"
+	"rlsched/internal/obs/span"
 	"rlsched/internal/sched"
 )
+
+// leaseMeta is the correlation context stamped on every lease call: the
+// coordinator request's X-Request-ID (so worker logs tie back to the
+// submission that caused them) and, on submits of span-traced jobs, the
+// traceparent the worker adopts as its root span's parent.
+type leaseMeta struct {
+	reqID       string
+	traceparent string
+}
+
+// apply stamps the meta's headers on one outgoing request.
+func (m leaseMeta) apply(req *http.Request) {
+	if m.reqID != "" {
+		req.Header.Set(obs.RequestIDHeader, m.reqID)
+	}
+	if m.traceparent != "" {
+		req.Header.Set(span.Header, m.traceparent)
+	}
+}
 
 // leaseError classifies a failed lease. Transient failures — transport
 // errors, 5xx, 429, a worker shutting down mid-job — mean the worker is
@@ -98,7 +119,7 @@ func decodeError(resp *http.Response) (string, bool) {
 
 // submit posts a single-point job spec to a worker and returns the
 // accepted job id.
-func (c *client) submit(ctx context.Context, base string, spec config.JobSpec) (string, *leaseError) {
+func (c *client) submit(ctx context.Context, base string, spec config.JobSpec, meta leaseMeta) (string, *leaseError) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return "", deterministicf("cluster: encoding lease spec: %v", err)
@@ -108,6 +129,7 @@ func (c *client) submit(ctx context.Context, base string, spec config.JobSpec) (
 		return "", deterministicf("cluster: building lease request: %v", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	meta.apply(req)
 	resp, done, err := c.call(ctx, req)
 	if err != nil {
 		return "", transientf("cluster: submitting lease to %s: %v", base, err)
@@ -134,11 +156,11 @@ func (c *client) submit(ctx context.Context, base string, spec config.JobSpec) (
 
 // wait polls the worker until the leased job settles, cancelling the
 // remote job (best effort) if ctx ends first.
-func (c *client) wait(ctx context.Context, base, id string) (jobStatus, *leaseError) {
+func (c *client) wait(ctx context.Context, base, id string, meta leaseMeta) (jobStatus, *leaseError) {
 	t := time.NewTicker(c.poll)
 	defer t.Stop()
 	for {
-		st, lerr := c.status(ctx, base, id)
+		st, lerr := c.status(ctx, base, id, meta)
 		if lerr != nil {
 			if ctx.Err() != nil {
 				c.cancel(base, id)
@@ -159,11 +181,12 @@ func (c *client) wait(ctx context.Context, base, id string) (jobStatus, *leaseEr
 }
 
 // status fetches one job status snapshot.
-func (c *client) status(ctx context.Context, base, id string) (jobStatus, *leaseError) {
+func (c *client) status(ctx context.Context, base, id string, meta leaseMeta) (jobStatus, *leaseError) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
 	if err != nil {
 		return jobStatus{}, deterministicf("cluster: building status request: %v", err)
 	}
+	meta.apply(req)
 	resp, done, err := c.call(ctx, req)
 	if err != nil {
 		return jobStatus{}, transientf("cluster: polling %s: %v", base, err)
@@ -181,11 +204,12 @@ func (c *client) status(ctx context.Context, base, id string) (jobStatus, *lease
 }
 
 // fullResults fetches the settled job's full engine results.
-func (c *client) fullResults(ctx context.Context, base, id string) ([]sched.Result, *leaseError) {
+func (c *client) fullResults(ctx context.Context, base, id string, meta leaseMeta) ([]sched.Result, *leaseError) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/result?view=full", nil)
 	if err != nil {
 		return nil, deterministicf("cluster: building result request: %v", err)
 	}
+	meta.apply(req)
 	resp, done, err := c.call(ctx, req)
 	if err != nil {
 		return nil, transientf("cluster: fetching result from %s: %v", base, err)
@@ -202,6 +226,41 @@ func (c *client) fullResults(ctx context.Context, base, id string) ([]sched.Resu
 		return nil, transientf("cluster: worker %s sent an unreadable result: %v", base, err)
 	}
 	return view.Results, nil
+}
+
+// spanView is the subset of GET /v1/jobs/{id}/spans a coordinator
+// needs: the worker's recorded spans and its own drop count, which the
+// coordinator folds into the campaign trace. Declared locally, like
+// jobStatus, to keep the server dependency one-way.
+type spanView struct {
+	Spans   []span.Record `json:"spans"`
+	Dropped uint64        `json:"dropped"`
+}
+
+// spans fetches the span trace a worker recorded for a leased job. A
+// plain error, not a leaseError: by the time spans are fetched the
+// result is already in hand, so a failure here loses telemetry, never
+// the point.
+func (c *client) spans(ctx context.Context, base, id string, meta leaseMeta) ([]span.Record, uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/spans", nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: building spans request: %v", err)
+	}
+	meta.apply(req)
+	resp, done, err := c.call(ctx, req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: fetching spans from %s: %v", base, err)
+	}
+	defer done()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("cluster: worker %s would not serve spans for %s (%d)", base, id, resp.StatusCode)
+	}
+	var view spanView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, 0, fmt.Errorf("cluster: worker %s sent unreadable spans: %v", base, err)
+	}
+	return view.Spans, view.Dropped, nil
 }
 
 // cancel tears a leased job down, best effort, when the coordinator no

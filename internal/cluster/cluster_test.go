@@ -251,7 +251,7 @@ func TestDispatcherCachesRepeatedCampaign(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	first, err := d.Runner("job-000001")(context.Background(), p, specs)
+	first, err := d.Runner(JobMeta{ID: "job-000001"})(context.Background(), p, specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestDispatcherCachesRepeatedCampaign(t *testing.T) {
 	p2.Progress = func() { progressed.Add(1) }
 	engStats := new(sched.Stats)
 	p2.Engine.Stats = engStats
-	second, err := d.Runner("job-000002")(context.Background(), p2, specs)
+	second, err := d.Runner(JobMeta{ID: "job-000002"})(context.Background(), p2, specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ func TestDispatcherFanOutMatchesLocal(t *testing.T) {
 	var progressed atomic.Int64
 	pd := p
 	pd.Progress = func() { progressed.Add(1) }
-	got, err := d.Runner("job-000001")(context.Background(), pd, specs)
+	got, err := d.Runner(JobMeta{ID: "job-000001"})(context.Background(), pd, specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +334,7 @@ func TestDispatcherWorkerLossReLeases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := d.Runner("job-000001")(context.Background(), p, specs)
+	got, err := d.Runner(JobMeta{ID: "job-000001"})(context.Background(), p, specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +369,7 @@ func TestDispatcherAllWorkersLostFallsBackLocally(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := d.Runner("job-000001")(context.Background(), p, specs)
+	got, err := d.Runner(JobMeta{ID: "job-000001"})(context.Background(), p, specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,7 +387,7 @@ func TestDispatcherDeterministicFailureLowestIndex(t *testing.T) {
 	pool := poolOf(t, w.srv.URL)
 	d := NewDispatcher(Options{Cache: memCache(t), Pool: pool, Poll: 5 * time.Millisecond})
 
-	_, err := d.Runner("job-000001")(context.Background(), testProfile(), testSpecs())
+	_, err := d.Runner(JobMeta{ID: "job-000001"})(context.Background(), testProfile(), testSpecs())
 	if err == nil {
 		t.Fatal("campaign with failing worker jobs succeeded")
 	}
@@ -406,7 +406,7 @@ func TestDispatcherJournalsLeasesAndCacheRefs(t *testing.T) {
 		Journal: func(r journal.Record) { mu.Lock(); recs = append(recs, r); mu.Unlock() },
 	})
 	specs := testSpecs()[:2]
-	if _, err := d.Runner("job-000007")(context.Background(), testProfile(), specs); err != nil {
+	if _, err := d.Runner(JobMeta{ID: "job-000007"})(context.Background(), testProfile(), specs); err != nil {
 		t.Fatal(err)
 	}
 	var leases, refs int
@@ -440,11 +440,11 @@ func TestDispatcherWarmCacheSkipsWorkers(t *testing.T) {
 	d := NewDispatcher(Options{Cache: st, Pool: pool, Poll: 5 * time.Millisecond})
 	p := testProfile()
 	specs := testSpecs()
-	if _, err := d.Runner("job-000001")(context.Background(), p, specs); err != nil {
+	if _, err := d.Runner(JobMeta{ID: "job-000001"})(context.Background(), p, specs); err != nil {
 		t.Fatal(err)
 	}
 	before := w.submitted()
-	if _, err := d.Runner("job-000002")(context.Background(), p, specs); err != nil {
+	if _, err := d.Runner(JobMeta{ID: "job-000002"})(context.Background(), p, specs); err != nil {
 		t.Fatal(err)
 	}
 	if w.submitted() != before {

@@ -15,6 +15,7 @@ import (
 	"rlsched/internal/experiments"
 	"rlsched/internal/journal"
 	"rlsched/internal/obs"
+	"rlsched/internal/obs/span"
 	"rlsched/internal/sched"
 )
 
@@ -90,6 +91,8 @@ type Dispatcher struct {
 	hedgeFloor          time.Duration
 	hedgeOff            bool
 
+	reg *obs.Registry
+
 	cached, remote, local *obs.Counter
 	leaseRetries          *obs.Counter
 	hedges, hedgeWins     *obs.Counter
@@ -140,6 +143,7 @@ func NewDispatcher(opts Options) *Dispatcher {
 		pool:       opts.Pool,
 		jn:         opts.Journal,
 		log:        log,
+		reg:        reg,
 		cl:         &client{hc: hc, poll: poll, timeout: leaseTimeout},
 		retryBase:  retryBase,
 		retryCap:   retryCap,
@@ -160,6 +164,16 @@ func NewDispatcher(opts Options) *Dispatcher {
 		leasesActive: reg.Gauge("cluster_leases_active",
 			"Leases currently in flight on cluster workers."),
 	}
+}
+
+// leaseObserve records one lease attempt's duration into the
+// cluster_lease_duration_seconds histogram, labelled by worker and
+// outcome ("ok", "late", "transient", "deterministic") — the /metrics
+// view of the latency distribution whose p95 sets the hedge deadline.
+func (d *Dispatcher) leaseObserve(worker, outcome string, seconds float64) {
+	d.reg.Histogram("cluster_lease_duration_seconds",
+		"Duration of individual point-lease attempts by worker and outcome.",
+		obs.DefBuckets, obs.L("worker", worker), obs.L("outcome", outcome)).Observe(seconds)
 }
 
 // observeLease feeds one completed lease duration into the latency ring.
@@ -193,11 +207,25 @@ func (d *Dispatcher) hedgeDelay() time.Duration {
 	return d.hedgeFloor
 }
 
-// Runner returns a Profile.RunPoints executor bound to one job id (the
-// id stamps the job's lease and cacheref journal records).
-func (d *Dispatcher) Runner(jobID string) func(context.Context, experiments.Profile, []experiments.RunSpec) ([]sched.Result, error) {
+// JobMeta identifies the job a Runner executes on behalf of. The ID
+// stamps the job's lease and cacheref journal records; RequestID, when
+// set, rides every lease call as X-Request-ID so worker-side logs
+// correlate with the coordinator request that caused them; Trace, when
+// non-nil, collects the campaign's distributed spans under Parent (the
+// job's own root span). A nil Trace disables all span work — every hook
+// below costs a nil check.
+type JobMeta struct {
+	ID        string
+	RequestID string
+	Trace     *span.Trace
+	Parent    span.ID
+}
+
+// Runner returns a Profile.RunPoints executor bound to one job; see
+// JobMeta for what the binding carries.
+func (d *Dispatcher) Runner(meta JobMeta) func(context.Context, experiments.Profile, []experiments.RunSpec) ([]sched.Result, error) {
 	return func(ctx context.Context, p experiments.Profile, specs []experiments.RunSpec) ([]sched.Result, error) {
-		return d.run(ctx, jobID, p, specs)
+		return d.run(ctx, meta, p, specs)
 	}
 }
 
@@ -225,29 +253,56 @@ func finishPoint(p experiments.Profile, r sched.Result) {
 // run executes one campaign: cache pass, worker fan-out, local
 // remainder. Results come back in spec order, bit-identical to a local
 // run; on failure the lowest-index failing point's error is returned,
-// mirroring the local runner.
-func (d *Dispatcher) run(ctx context.Context, jobID string, p experiments.Profile, specs []experiments.RunSpec) ([]sched.Result, error) {
+// mirroring the local runner. When meta carries a span trace, the whole
+// pipeline is recorded under a campaign root span: one point span per
+// spec, with cache.lookup / lease.attempt / hedge / breaker /
+// local.fallback children — none of which exist (or allocate) on an
+// untraced run.
+func (d *Dispatcher) run(ctx context.Context, meta JobMeta, p experiments.Profile, specs []experiments.RunSpec) ([]sched.Result, error) {
+	camp := meta.Trace.Start(meta.Parent, "campaign")
+	camp.SetInt("points", int64(len(specs)))
+	defer camp.End()
+	var pointSpans []*span.Span
+	if meta.Trace != nil {
+		pointSpans = make([]*span.Span, len(specs))
+	}
+
 	fp := p.CacheFingerprint()
 	results := make([]sched.Result, len(specs))
 	keys := make([]string, len(specs))
 	var missing []int
 	for i, spec := range specs {
+		sp := meta.Trace.Start(camp.ID(), "point")
+		if pointSpans != nil {
+			pointSpans[i] = sp
+			sp.SetInt("index", int64(i))
+			sp.SetStr("policy", string(spec.Policy))
+			sp.SetInt("tasks", int64(spec.NumTasks))
+		}
 		key, err := cache.PointKey(fp, spec)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: keying point %d: %w", i, err)
 		}
 		keys[i] = key
-		if raw, ok := d.cache.Get(key); ok {
+		cl := meta.Trace.Start(sp.ID(), "cache.lookup")
+		raw, tier := d.cache.GetTier(key)
+		cl.SetStr("tier", string(tier))
+		if tier != cache.TierMiss {
 			var r sched.Result
 			if err := json.Unmarshal(raw, &r); err == nil {
+				cl.End()
 				results[i] = r
 				d.cached.Inc()
+				sp.SetStr("outcome", "cached")
+				sp.End()
 				finishPoint(p, r)
 				continue
 			}
 			// An undecodable value under a good envelope: treat as a miss
 			// and recompute; the Put below overwrites it.
+			cl.SetBool("undecodable", true)
 		}
+		cl.End()
 		missing = append(missing, i)
 	}
 	if len(missing) == 0 {
@@ -256,7 +311,7 @@ func (d *Dispatcher) run(ctx context.Context, jobID string, p experiments.Profil
 
 	if d.pool != nil {
 		var err error
-		missing, err = d.fanOut(ctx, jobID, p, specs, keys, results, missing)
+		missing, err = d.fanOut(ctx, meta, p, specs, keys, results, missing, pointSpans)
 		if err != nil {
 			return nil, err
 		}
@@ -275,6 +330,28 @@ func (d *Dispatcher) run(ctx context.Context, jobID string, p experiments.Profil
 	for k, i := range missing {
 		batch[k] = specs[i]
 	}
+	if meta.Trace != nil {
+		// Bracket each locally run point with a span under its point
+		// span: local.fallback when a cluster fan-out left this point
+		// behind, engine.run when the run was always going to be local
+		// (worker daemons have no pool; standalone daemons keep an empty
+		// one for runtime registration). Batch index k maps back through
+		// missing.
+		name := "engine.run"
+		if d.pool != nil && d.pool.AliveCount() > 0 {
+			name = "local.fallback"
+		}
+		remainder := append([]int(nil), missing...)
+		local.PointSpan = func(k int, _ experiments.RunSpec) func(error) {
+			ls := meta.Trace.Start(pointSpans[remainder[k]].ID(), name)
+			return func(err error) {
+				if err != nil {
+					ls.SetStr("error", err.Error())
+				}
+				ls.End()
+			}
+		}
+	}
 	out, err := experiments.RunManyCtx(ctx, local, batch)
 	if err != nil {
 		return nil, err
@@ -282,7 +359,11 @@ func (d *Dispatcher) run(ctx context.Context, jobID string, p experiments.Profil
 	for k, i := range missing {
 		results[i] = out[k]
 		d.local.Inc()
-		d.putPoint(jobID, i, keys[i], out[k])
+		d.putPoint(meta.ID, i, keys[i], out[k])
+		if pointSpans != nil {
+			pointSpans[i].SetStr("outcome", "local")
+			pointSpans[i].End()
+		}
 	}
 	return results, nil
 }
@@ -330,16 +411,24 @@ const (
 // an idle worker, first valid result wins. A deterministic point
 // failure stops the fan-out and is returned for the lowest failing
 // index, exactly like the local runner's forEachPoint.
-func (d *Dispatcher) fanOut(ctx context.Context, jobID string, p experiments.Profile, specs []experiments.RunSpec, keys []string, results []sched.Result, missing []int) ([]int, error) {
+func (d *Dispatcher) fanOut(ctx context.Context, meta JobMeta, p experiments.Profile, specs []experiments.RunSpec, keys []string, results []sched.Result, missing []int, pointSpans []*span.Span) ([]int, error) {
 	workers := d.pool.Alive()
 	if len(workers) == 0 {
 		return missing, nil
+	}
+	// psp resolves a point's span (nil when the campaign is untraced).
+	psp := func(i int) *span.Span {
+		if pointSpans == nil {
+			return nil
+		}
+		return pointSpans[i]
 	}
 
 	var (
 		mu       sync.Mutex
 		queue    = append([]int(nil), missing...)
 		inflight = make(map[int]*flight)
+		tries    = make([]int, len(specs))
 		errIdx   = len(specs)
 		firstEr  error
 	)
@@ -410,21 +499,40 @@ func (d *Dispatcher) fanOut(ctx context.Context, jobID string, p experiments.Pro
 				case modeHedge:
 					d.hedges.Inc()
 					d.log.Info("cluster: hedging straggling point",
-						"job", jobID, "point", fl.idx, "worker", url)
+						"job", meta.ID, "point", fl.idx, "worker", url)
+					// The hedge itself is a zero-width marker span; the
+					// duplicate lease below records like any other attempt.
+					h := meta.Trace.Start(psp(fl.idx).ID(), "hedge")
+					h.SetStr("worker", url)
+					h.End()
+				}
+				mu.Lock()
+				tries[fl.idx]++
+				try := tries[fl.idx]
+				mu.Unlock()
+				lsp := meta.Trace.Start(psp(fl.idx).ID(), "lease.attempt")
+				lsp.SetStr("worker", url)
+				lsp.SetInt("try", int64(try))
+				if mode == modeHedge {
+					lsp.SetBool("hedge", true)
 				}
 				leaseStart := time.Now()
 				lctx, lcancel := context.WithCancel(ctx)
 				mu.Lock()
 				fl.cancels = append(fl.cancels, lcancel)
 				mu.Unlock()
-				res, lerr := d.leasePoint(lctx, url, jobID, p, specs[fl.idx], fl.idx, keys[fl.idx])
+				res, lerr := d.leasePoint(lctx, url, meta, p, specs[fl.idx], fl.idx, keys[fl.idx], lsp)
 				lcancel()
+				leaseSecs := time.Since(leaseStart).Seconds()
 				if lerr == nil {
 					mu.Lock()
 					if fl.done {
 						// The other copy of a hedged pair delivered first;
 						// results are byte-identical, so just drop this one.
 						mu.Unlock()
+						lsp.SetStr("outcome", "late")
+						lsp.End()
+						d.leaseObserve(url, "late", leaseSecs)
 						continue
 					}
 					fl.done = true
@@ -436,13 +544,20 @@ func (d *Dispatcher) fanOut(ctx context.Context, jobID string, p experiments.Pro
 					for _, c := range cancels {
 						c()
 					}
+					lsp.SetStr("outcome", "ok")
+					lsp.End()
+					d.leaseObserve(url, "ok", leaseSecs)
+					if ps := psp(fl.idx); ps != nil {
+						ps.SetStr("outcome", "remote")
+						ps.End()
+					}
 					d.remote.Inc()
 					if mode == modeHedge {
 						d.hedgeWins.Inc()
 					}
 					d.observeLease(time.Since(leaseStart))
 					d.pool.countLease(url)
-					d.putPoint(jobID, fl.idx, keys[fl.idx], res)
+					d.putPoint(meta.ID, fl.idx, keys[fl.idx], res)
 					finishPoint(p, res)
 					attempt = 0
 					continue
@@ -459,6 +574,19 @@ func (d *Dispatcher) fanOut(ctx context.Context, jobID string, p experiments.Pro
 					}
 				}
 				mu.Unlock()
+				outcome := "transient"
+				switch {
+				case wasDone:
+					outcome = "late"
+				case !lerr.transient:
+					outcome = "deterministic"
+				}
+				if !wasDone {
+					lsp.SetStr("error", lerr.Error())
+				}
+				lsp.SetStr("outcome", outcome)
+				lsp.End()
+				d.leaseObserve(url, outcome, leaseSecs)
 				if wasDone {
 					// The hedge winner cancelled this lease; the point is
 					// delivered and this is not the worker's fault.
@@ -467,6 +595,10 @@ func (d *Dispatcher) fanOut(ctx context.Context, jobID string, p experiments.Pro
 				if !lerr.transient {
 					// Deterministic failure: re-running this spec anywhere
 					// reproduces it, so it fails the campaign at this index.
+					if ps := psp(fl.idx); ps != nil {
+						ps.SetStr("outcome", "error")
+						ps.End()
+					}
 					record(fl.idx, fmt.Errorf("point %d (%s n=%d cv=%g seed=%d): worker %s: %s",
 						fl.idx, specs[fl.idx].Policy, specs[fl.idx].NumTasks, specs[fl.idx].HeterogeneityCV,
 						specs[fl.idx].Seed, url, lerr.Error()))
@@ -478,10 +610,15 @@ func (d *Dispatcher) fanOut(ctx context.Context, jobID string, p experiments.Pro
 				d.leaseRetries.Inc()
 				d.pool.ReportFailure(url)
 				d.log.Warn("cluster: lease lost, re-issuing point",
-					"job", jobID, "point", fl.idx, "worker", url, "error", lerr.Error())
+					"job", meta.ID, "point", fl.idx, "worker", url, "error", lerr.Error())
 				if !d.pool.usable(url) {
+					// The strike opened the worker's breaker: a marker span
+					// records which point's failure tripped it.
+					b := meta.Trace.Start(psp(fl.idx).ID(), "breaker")
+					b.SetStr("worker", url)
+					b.End()
 					d.log.Warn("cluster: worker retired from fan-out",
-						"job", jobID, "worker", url)
+						"job", meta.ID, "worker", url)
 					return
 				}
 				attempt++
@@ -508,29 +645,38 @@ func (d *Dispatcher) fanOut(ctx context.Context, jobID string, p experiments.Pro
 
 // leasePoint runs one point on one worker: journal the lease, submit a
 // single-point keep_results job, wait for it to settle, fetch the full
-// result.
-func (d *Dispatcher) leasePoint(ctx context.Context, url, jobID string, p experiments.Profile, spec experiments.RunSpec, i int, key string) (sched.Result, *leaseError) {
+// result. On a span-traced campaign the submit carries a traceparent
+// naming this attempt's span as the remote parent, and the worker's own
+// spans are fetched and folded into the campaign trace afterwards — so
+// the worker-side job.run / engine.run timeline stitches under the
+// lease attempt that caused it.
+func (d *Dispatcher) leasePoint(ctx context.Context, url string, meta JobMeta, p experiments.Profile, spec experiments.RunSpec, i int, key string, lsp *span.Span) (sched.Result, *leaseError) {
 	if d.jn != nil {
-		d.jn(journal.Record{Op: journal.OpLease, ID: jobID, Point: i, Worker: url, Key: key})
+		d.jn(journal.Record{Op: journal.OpLease, ID: meta.ID, Point: i, Worker: url, Key: key})
 	}
 	d.leasesActive.Add(1)
 	defer d.leasesActive.Add(-1)
 
+	lm := leaseMeta{reqID: meta.RequestID}
+	if meta.Trace != nil {
+		lm.traceparent = span.FormatTraceparent(meta.Trace.TraceID(), lsp.ID())
+	}
 	// The lease carries the campaign's own profile (runtime hooks are
 	// json:"-" and never cross the wire); the worker re-derives the same
 	// cache fingerprint from it, so coordinator and worker agree on keys.
 	js := config.JobSpec{
-		Description: fmt.Sprintf("lease %s point %d", jobID, i),
+		Description: fmt.Sprintf("lease %s point %d", meta.ID, i),
 		Kind:        config.JobPoints,
 		Points:      []experiments.RunSpec{spec},
 		KeepResults: true,
+		Spans:       meta.Trace != nil,
 		Profile:     p,
 	}
-	id, lerr := d.cl.submit(ctx, url, js)
+	id, lerr := d.cl.submit(ctx, url, js, lm)
 	if lerr != nil {
 		return sched.Result{}, lerr
 	}
-	st, lerr := d.cl.wait(ctx, url, id)
+	st, lerr := d.cl.wait(ctx, url, id, lm)
 	if lerr != nil {
 		return sched.Result{}, lerr
 	}
@@ -541,12 +687,25 @@ func (d *Dispatcher) leasePoint(ctx context.Context, url, jobID string, p experi
 	default: // cancelled: the worker is going away, not the point
 		return sched.Result{}, transientf("cluster: worker %s cancelled leased job %s", url, id)
 	}
-	rs, lerr := d.cl.fullResults(ctx, url, id)
+	rs, lerr := d.cl.fullResults(ctx, url, id, lm)
 	if lerr != nil {
 		return sched.Result{}, lerr
 	}
 	if len(rs) != 1 {
 		return sched.Result{}, transientf("cluster: worker %s returned %d results for a single-point lease", url, len(rs))
+	}
+	if meta.Trace != nil {
+		// Best effort: the result is already in hand, so a failed span
+		// fetch loses telemetry, never the point — but it is counted as
+		// a drop so the trace cannot silently understate.
+		recs, dropped, err := d.cl.spans(ctx, url, id, lm)
+		if err != nil {
+			meta.Trace.NoteDrops(1)
+			d.log.Warn("cluster: worker span fetch failed",
+				"job", meta.ID, "point", i, "worker", url, "error", err.Error())
+		} else {
+			meta.Trace.Import(recs, dropped)
+		}
 	}
 	return rs[0], nil
 }

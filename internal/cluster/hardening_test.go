@@ -162,7 +162,7 @@ func TestDispatcherHedgesStraggler(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := d.Runner("job-000001")(context.Background(), p, specs)
+	got, err := d.Runner(JobMeta{ID: "job-000001"})(context.Background(), p, specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestFanOutNoGoroutineLeakOnCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		_, err := d.Runner("job-000001")(ctx, testProfile(), testSpecs())
+		_, err := d.Runner(JobMeta{ID: "job-000001"})(ctx, testProfile(), testSpecs())
 		errc <- err
 	}()
 	time.Sleep(100 * time.Millisecond) // let the lease park on the stall
@@ -254,7 +254,7 @@ func TestFanOutNoGoroutineLeakOnStalledWorker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := d.Runner("job-000001")(context.Background(), p, specs)
+	got, err := d.Runner(JobMeta{ID: "job-000001"})(context.Background(), p, specs)
 	if err != nil {
 		t.Fatal(err)
 	}

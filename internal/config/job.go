@@ -58,6 +58,15 @@ type JobSpec struct {
 	// /v1/jobs/{id}/trace. Off by default: an untraced job pays no
 	// tracing cost at all (the endpoint then returns 404).
 	Trace bool `json:"trace,omitempty"`
+	// Spans, when true, records a distributed span trace of the job's
+	// execution pipeline — cache lookups, cluster lease attempts (hedges
+	// and retries included), worker-side engine runs — stitched across
+	// daemons via a traceparent header and served by GET
+	// /v1/jobs/{id}/spans (append ?format=html for a waterfall view).
+	// Off by default: an untraced job pays one nil check per hook site,
+	// the endpoint returns 404, and results are byte-identical either
+	// way.
+	Spans bool `json:"spans,omitempty"`
 	// KeepResults, valid for JobPoints jobs only, makes the daemon
 	// retain every point's full engine result (util windows, run stats,
 	// series payloads) and serve them via GET

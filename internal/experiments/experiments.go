@@ -153,6 +153,16 @@ type Profile struct {
 	// Runtime-only, like Progress: a nil hook costs nothing and sampling
 	// never affects results.
 	ProbeFor func(index int, spec RunSpec) *probe.Recorder `json:"-"`
+	// PointSpan, when non-nil, brackets every locally executed simulation
+	// point: RunManyCtx calls it just before point i runs with the
+	// point's index in the expanded spec list and its spec, and calls the
+	// returned function with the run's error once the point finishes. The
+	// rlsimd daemon uses it to time each local run into a job's span
+	// trace (as engine.run or local.fallback spans). Called from worker
+	// goroutines concurrently, so implementations must be safe for
+	// concurrent use. Runtime-only, never serialised, never affects
+	// results; a nil hook costs one nil check.
+	PointSpan func(index int, spec RunSpec) func(err error) `json:"-"`
 }
 
 // DefaultProfile returns the tuned defaults used for every figure.

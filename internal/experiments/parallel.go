@@ -182,7 +182,14 @@ func RunManyCtx(ctx context.Context, p Profile, specs []RunSpec) ([]sched.Result
 			// config.
 			pp.Engine.Probe = pp.ProbeFor(i, specs[i])
 		}
+		var endSpan func(error)
+		if p.PointSpan != nil {
+			endSpan = p.PointSpan(i, specs[i])
+		}
 		res, err := Run(pp, specs[i])
+		if endSpan != nil {
+			endSpan(err)
+		}
 		if timed {
 			el := time.Since(start).Seconds()
 			pointHist.Observe(el)

@@ -9,6 +9,12 @@ import (
 	"time"
 )
 
+// RequestIDHeader carries the request correlation ID. The middleware
+// assigns one when absent and echoes it on the response; the cluster
+// lease client forwards the coordinator's ID on every worker call so
+// worker-side logs correlate with the request that caused them.
+const RequestIDHeader = "X-Request-ID"
+
 // HTTPMetrics instruments handlers of one server: per-route request
 // counts (by status code), latency histograms and an in-flight gauge,
 // plus request-ID assignment and request logging. Create one per server
@@ -70,11 +76,11 @@ func (m *HTTPMetrics) Handler(route string, next http.HandlerFunc) http.HandlerF
 	hist := m.reg.Histogram("http_request_seconds",
 		"HTTP request latency by route.", DefBuckets, L("route", route))
 	return func(w http.ResponseWriter, r *http.Request) {
-		reqID := r.Header.Get("X-Request-ID")
+		reqID := r.Header.Get(RequestIDHeader)
 		if reqID == "" {
 			reqID = fmt.Sprintf("req-%06d", m.seq.Add(1))
 		}
-		w.Header().Set("X-Request-ID", reqID)
+		w.Header().Set(RequestIDHeader, reqID)
 		ctx := WithRequestID(r.Context(), reqID)
 		sw := &statusWriter{ResponseWriter: w}
 		m.inFlt.Add(1)

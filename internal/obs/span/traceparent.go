@@ -1,0 +1,66 @@
+package span
+
+import "fmt"
+
+// Header is the HTTP header carrying trace context between the
+// coordinator's lease client and worker daemons. The value follows the
+// W3C Trace Context traceparent layout:
+//
+//	version "-" trace-id "-" parent-id "-" flags
+//	  00    -  32 hex    -   16 hex    -  01
+//
+// so external tooling that speaks traceparent can read ours unchanged.
+const Header = "traceparent"
+
+// Traceparent is a parsed trace-context header.
+type Traceparent struct {
+	// TraceID is the 32-hex-digit trace identifier.
+	TraceID string
+	// Parent is the remote span the receiver should adopt as its root's
+	// parent.
+	Parent ID
+}
+
+// FormatTraceparent renders the header value for propagating the given
+// trace and parent span. The version is always 00 and the sampled flag
+// always set: a trace only propagates when spans are enabled.
+func FormatTraceparent(traceID string, parent ID) string {
+	return "00-" + traceID + "-" + parent.String() + "-01"
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// non-ff version and any flags byte (per the W3C rule that unknown
+// versions parse leniently on the fixed prefix), and rejects malformed
+// lengths, non-lowercase-hex fields, and the all-zero trace or parent
+// IDs the spec reserves as invalid.
+func ParseTraceparent(s string) (Traceparent, error) {
+	// Fixed layout: 2 + 1 + 32 + 1 + 16 + 1 + 2 = 55 bytes minimum;
+	// future versions may append "-..." suffixes, which we ignore.
+	if len(s) < 55 {
+		return Traceparent{}, fmt.Errorf("span: traceparent too short (%d bytes)", len(s))
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return Traceparent{}, fmt.Errorf("span: malformed traceparent suffix")
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return Traceparent{}, fmt.Errorf("span: malformed traceparent separators")
+	}
+	ver, tid, pid, flags := s[0:2], s[3:35], s[36:52], s[53:55]
+	if !isLowerHex(ver) || ver == "ff" {
+		return Traceparent{}, fmt.Errorf("span: invalid traceparent version %q", ver)
+	}
+	if !isLowerHex(tid) || tid == "00000000000000000000000000000000" {
+		return Traceparent{}, fmt.Errorf("span: invalid trace id %q", tid)
+	}
+	if !isLowerHex(flags) {
+		return Traceparent{}, fmt.Errorf("span: invalid traceparent flags %q", flags)
+	}
+	parent, err := ParseID(pid)
+	if err != nil {
+		return Traceparent{}, err
+	}
+	if parent == 0 {
+		return Traceparent{}, fmt.Errorf("span: invalid all-zero parent id")
+	}
+	return Traceparent{TraceID: tid, Parent: parent}, nil
+}

@@ -1,0 +1,81 @@
+package span
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid := DeriveTraceID("job-000007")
+	want := ID(0xdeadbeef01020304)
+	hdr := FormatTraceparent(tid, want)
+	if hdr != "00-"+tid+"-deadbeef01020304-01" {
+		t.Fatalf("header = %q", hdr)
+	}
+	tp, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.TraceID != tid || tp.Parent != want {
+		t.Fatalf("parsed %+v", tp)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	tid := DeriveTraceID("x")
+	bad := []string{
+		"",
+		"00-" + tid,                          // too short
+		"00-" + tid + "-0000000000000000-01", // all-zero parent
+		"00-" + strings.Repeat("0", 32) + "-00000000000000ab-01", // all-zero trace
+		"ff-" + tid + "-00000000000000ab-01",                     // reserved version
+		"0G-" + tid + "-00000000000000ab-01",                     // non-hex version
+		"00-" + strings.ToUpper(tid) + "-00000000000000ab-01",    // uppercase hex
+		"00-" + tid + "-00000000000000ab-0X",                     // non-hex flags
+		"00_" + tid + "-00000000000000ab-01",                     // bad separator
+		"00-" + tid + "-00000000000000ab-01x",                    // junk suffix
+		"00-" + tid[:31] + "--00000000000000ab-01",               // shifted fields
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", s)
+		}
+	}
+	// Future-versioned values with extensions parse on the fixed prefix.
+	ok := "cc-" + tid + "-00000000000000ab-7f-extra-stuff"
+	tp, err := ParseTraceparent(ok)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", ok, err)
+	}
+	if tp.TraceID != tid || tp.Parent != 0xab {
+		t.Fatalf("parsed %+v", tp)
+	}
+}
+
+// FuzzParseTraceparent asserts the parser never panics and that every
+// accepted value round-trips: re-formatting the parsed trace and parent
+// yields a header that parses back to the identical pair.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add(FormatTraceparent(DeriveTraceID("seed"), 1))
+	f.Add("00-" + strings.Repeat("ab", 16) + "-00000000000000ab-01")
+	f.Add("ff-" + strings.Repeat("ab", 16) + "-00000000000000ab-01")
+	f.Add("00-" + strings.Repeat("0", 32) + "-0000000000000000-00")
+	f.Add("")
+	f.Add(strings.Repeat("-", 64))
+	f.Fuzz(func(t *testing.T, s string) {
+		tp, err := ParseTraceparent(s)
+		if err != nil {
+			return
+		}
+		if len(tp.TraceID) != 32 || tp.Parent == 0 {
+			t.Fatalf("accepted invalid traceparent %q -> %+v", s, tp)
+		}
+		back, err := ParseTraceparent(FormatTraceparent(tp.TraceID, tp.Parent))
+		if err != nil {
+			t.Fatalf("re-formatted header did not parse: %v", err)
+		}
+		if back != tp {
+			t.Fatalf("round trip drifted: %+v vs %+v", tp, back)
+		}
+	})
+}

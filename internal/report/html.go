@@ -348,6 +348,12 @@ svg { max-width: 100%; height: auto; display: block; background: var(--surface-1
 .s6 { stroke: var(--series-6); } .dot.s6 { fill: var(--series-6); }
 .s7 { stroke: var(--series-7); } .dot.s7 { fill: var(--series-7); }
 .s8 { stroke: var(--series-8); } .dot.s8 { fill: var(--series-8); }
+.wf-name { fill: var(--text-secondary); font-size: 11px; }
+.wf-bar { stroke: none; }
+.wf-bar.s1 { fill: var(--series-1); } .wf-bar.s2 { fill: var(--series-2); }
+.wf-bar.s3 { fill: var(--series-3); } .wf-bar.s4 { fill: var(--series-4); }
+.wf-bar.s5 { fill: var(--series-5); } .wf-bar.s6 { fill: var(--series-6); }
+.wf-bar.s7 { fill: var(--series-7); } .wf-bar.s8 { fill: var(--series-8); }
 .legend { display: flex; flex-wrap: wrap; gap: 0.4rem 1rem; margin: 0.4rem 0; font-size: 0.85rem; color: var(--text-secondary); }
 .key { display: inline-flex; align-items: center; gap: 0.35rem; }
 .swatch { width: 14px; height: 3px; border-radius: 2px; display: inline-block; }

@@ -1,0 +1,230 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+
+	"rlsched/internal/obs/span"
+)
+
+// Waterfall geometry. Rows are short and dense — a campaign trace can
+// carry hundreds of spans — and the width matches the line charts so a
+// report reads as one column.
+const (
+	wfW        = 720
+	wfRowH     = 18
+	wfPadLeft  = 8
+	wfPadRight = 14
+	wfPadTop   = 6
+	wfPadBot   = 28
+	wfIndent   = 12
+	wfMinBar   = 2 // px; zero-width marker spans still get a visible tick
+	wfMaxRows  = 400
+)
+
+// wfRow is one laid-out waterfall row: a span, its tree depth and its
+// display label.
+type wfRow struct {
+	rec    span.Record
+	depth  int
+	orphan bool
+}
+
+// AddWaterfall appends a distributed-trace waterfall: one bar per span,
+// indented by tree depth, positioned and sized on a shared wall-clock
+// axis. Like every section it is inline SVG plus a data table — no
+// scripts — so tooltips are native <title> elements. Spans whose parent
+// is missing from the set (evicted from a bounded buffer, or a worker
+// fetch that failed) are kept and flagged as orphans rather than
+// silently dropped.
+func (h *HTMLReport) AddWaterfall(heading string, spans []span.Record) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<section>\n<h2>%s</h2>\n", html.EscapeString(heading))
+	if len(spans) == 0 {
+		b.WriteString("<p class=\"note\">no spans recorded.</p>\n</section>\n")
+		h.sections = append(h.sections, b.String())
+		return
+	}
+	rows := layoutWaterfall(spans)
+	plotted := rows
+	if len(plotted) > wfMaxRows {
+		plotted = plotted[:wfMaxRows]
+	}
+
+	// The shared clock: bar positions are offsets from the earliest start.
+	t0, t1 := rows[0].rec.StartUnixNs, rows[0].rec.EndUnixNs
+	for _, r := range rows {
+		if r.rec.StartUnixNs < t0 {
+			t0 = r.rec.StartUnixNs
+		}
+		if r.rec.EndUnixNs > t1 {
+			t1 = r.rec.EndUnixNs
+		}
+	}
+	spanNs := t1 - t0
+	if spanNs <= 0 {
+		spanNs = 1
+	}
+	// Label column: indent by depth, then the name. Bars start after it.
+	labelW := 0
+	for _, r := range plotted {
+		if w := r.depth*wfIndent + 7*len(r.rec.Name); w > labelW {
+			labelW = w
+		}
+	}
+	if labelW > wfW/2 {
+		labelW = wfW / 2
+	}
+	barX0 := wfPadLeft + labelW + 10
+	barW := float64(wfW - barX0 - wfPadRight)
+	sx := func(ns int64) float64 {
+		return float64(barX0) + float64(ns-t0)/float64(spanNs)*barW
+	}
+	slots := nameSlots(rows)
+	height := wfPadTop + len(plotted)*wfRowH + wfPadBot
+
+	fmt.Fprintf(&b, "<figure class=\"viz-root\">\n<svg viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" role=\"img\">\n",
+		wfW, height, wfW, height)
+	// Time axis: gridlines in milliseconds since the trace's first span.
+	for _, t := range niceTicks(0, float64(spanNs)/1e6, 6) {
+		x := sx(t0 + int64(t*1e6))
+		fmt.Fprintf(&b, "<line class=\"grid\" x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\"/>\n",
+			x, wfPadTop, x, wfPadTop+len(plotted)*wfRowH)
+		fmt.Fprintf(&b, "<text class=\"tick\" x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">%s</text>\n",
+			x, wfPadTop+len(plotted)*wfRowH+14, trimFloat(t))
+	}
+	fmt.Fprintf(&b, "<text class=\"label\" x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">ms since trace start</text>\n",
+		float64(barX0)+barW/2, height-6)
+
+	for i, r := range plotted {
+		y := wfPadTop + i*wfRowH
+		name := r.rec.Name
+		if r.orphan {
+			name += " (orphan)"
+		}
+		fmt.Fprintf(&b, "<text class=\"wf-name\" x=\"%d\" y=\"%d\">%s</text>\n",
+			wfPadLeft+r.depth*wfIndent, y+wfRowH-5, html.EscapeString(name))
+		x := sx(r.rec.StartUnixNs)
+		w := sx(r.rec.EndUnixNs) - x
+		if w < wfMinBar {
+			w = wfMinBar
+		}
+		fmt.Fprintf(&b, "<rect class=\"wf-bar s%d\" x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\"><title>%s</title></rect>\n",
+			slots[r.rec.Name], x, y+3, w, wfRowH-6, html.EscapeString(spanTooltip(r.rec, t0)))
+	}
+	b.WriteString("</svg>\n")
+	if len(rows) > wfMaxRows {
+		fmt.Fprintf(&b, "<p class=\"note\">%d of %d spans plotted; the data table below carries all of them.</p>\n",
+			wfMaxRows, len(rows))
+	}
+
+	// The table view: every span, readable without the plot.
+	b.WriteString("<details><summary>Span table</summary>\n<table class=\"data\">\n")
+	b.WriteString("<tr><th>span</th><th>parent</th><th>name</th><th>start (ms)</th><th>dur (ms)</th><th>attrs</th></tr>\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			html.EscapeString(r.rec.SpanID), html.EscapeString(r.rec.ParentID),
+			html.EscapeString(r.rec.Name),
+			trimFloat(float64(r.rec.StartUnixNs-t0)/1e6),
+			trimFloat(float64(r.rec.EndUnixNs-r.rec.StartUnixNs)/1e6),
+			html.EscapeString(formatAttrs(r.rec.Attrs)))
+	}
+	b.WriteString("</table>\n</details>\n</figure>\n</section>\n")
+	h.sections = append(h.sections, b.String())
+}
+
+// layoutWaterfall orders spans depth-first from the roots, children by
+// (start, span id) so the layout is deterministic for a given span set.
+// Spans whose parent is absent become flagged roots.
+func layoutWaterfall(spans []span.Record) []wfRow {
+	byID := make(map[string]span.Record, len(spans))
+	children := make(map[string][]span.Record)
+	for _, r := range spans {
+		byID[r.SpanID] = r
+	}
+	var roots []span.Record
+	orphan := make(map[string]bool)
+	for _, r := range spans {
+		if r.ParentID == "" {
+			roots = append(roots, r)
+			continue
+		}
+		if _, ok := byID[r.ParentID]; !ok {
+			orphan[r.SpanID] = true
+			roots = append(roots, r)
+			continue
+		}
+		children[r.ParentID] = append(children[r.ParentID], r)
+	}
+	order := func(rs []span.Record) {
+		sort.Slice(rs, func(i, j int) bool {
+			if rs[i].StartUnixNs != rs[j].StartUnixNs {
+				return rs[i].StartUnixNs < rs[j].StartUnixNs
+			}
+			return rs[i].SpanID < rs[j].SpanID
+		})
+	}
+	order(roots)
+	rows := make([]wfRow, 0, len(spans))
+	var walk func(r span.Record, depth int)
+	walk = func(r span.Record, depth int) {
+		rows = append(rows, wfRow{rec: r, depth: depth, orphan: orphan[r.SpanID]})
+		kids := children[r.SpanID]
+		order(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return rows
+}
+
+// nameSlots assigns each distinct span name a palette slot in first-seen
+// layout order, cycling past eight: bars are colored by operation, so
+// every lease.attempt reads as the same kind of work.
+func nameSlots(rows []wfRow) map[string]int {
+	slots := make(map[string]int)
+	for _, r := range rows {
+		if _, ok := slots[r.rec.Name]; !ok {
+			slots[r.rec.Name] = len(slots)%maxChartSeries + 1
+		}
+	}
+	return slots
+}
+
+// spanTooltip builds a bar's native tooltip: name, timing and every
+// attribute in sorted order.
+func spanTooltip(r span.Record, t0 int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s ms at +%s ms", r.Name,
+		trimFloat(float64(r.EndUnixNs-r.StartUnixNs)/1e6),
+		trimFloat(float64(r.StartUnixNs-t0)/1e6))
+	if a := formatAttrs(r.Attrs); a != "" {
+		b.WriteString("\n" + a)
+	}
+	return b.String()
+}
+
+// formatAttrs renders an attribute map as "k=v k=v" with sorted keys.
+func formatAttrs(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%v", k, attrs[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"rlsched/internal/obs/span"
+)
+
+// sampleSpans is a small distributed trace: a root, two children (one
+// with attrs, one zero-width marker) and one orphan whose parent was
+// evicted.
+func sampleSpans() []span.Record {
+	return []span.Record{
+		{SpanID: "aaaaaaaa00000001", Name: "job.run", StartUnixNs: 1e9, EndUnixNs: 5e9},
+		{SpanID: "aaaaaaaa00000002", ParentID: "aaaaaaaa00000001", Name: "point",
+			StartUnixNs: 15e8, EndUnixNs: 45e8,
+			Attrs: map[string]any{"index": 0, "policy": "greedy & <fast>"}},
+		{SpanID: "aaaaaaaa00000003", ParentID: "aaaaaaaa00000002", Name: "hedge",
+			StartUnixNs: 2e9, EndUnixNs: 2e9},
+		{SpanID: "bbbbbbbb00000009", ParentID: "bbbbbbbb00000404", Name: "engine.run",
+			StartUnixNs: 3e9, EndUnixNs: 4e9},
+	}
+}
+
+func renderWaterfall(t *testing.T, spans []span.Record) string {
+	t.Helper()
+	h := NewHTMLReport("trace")
+	h.AddWaterfall("Campaign waterfall", spans)
+	var b strings.Builder
+	if err := h.Render(&b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	return b.String()
+}
+
+// The waterfall inherits the report contract: one self-contained file,
+// inline SVG, no scripts.
+func TestWaterfallSelfContained(t *testing.T) {
+	out := renderWaterfall(t, sampleSpans())
+	for _, banned := range []string{"<script", "http://", "https://", "src=", "url(", "@import"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("waterfall contains %q — not self-contained", banned)
+		}
+	}
+	for _, want := range []string{"<svg", "wf-bar", "job.run", "engine.run", "ms since trace start", "Span table"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waterfall missing %q", want)
+		}
+	}
+	// Attribute values are user text and must be escaped.
+	if strings.Contains(out, "<fast>") {
+		t.Error("waterfall leaked an unescaped attribute value")
+	}
+	if !strings.Contains(out, "&amp;") {
+		t.Error("waterfall did not escape the & in an attribute value")
+	}
+}
+
+// Orphans — spans whose parent is missing from the set — are kept and
+// flagged, never silently dropped.
+func TestWaterfallFlagsOrphans(t *testing.T) {
+	out := renderWaterfall(t, sampleSpans())
+	if !strings.Contains(out, "engine.run (orphan)") {
+		t.Error("orphan span not flagged in the waterfall")
+	}
+}
+
+// Layout is a deterministic depth-first walk: children indent under
+// their parents, ordered by start time, and the same set always lays
+// out the same way.
+func TestWaterfallLayoutDeterministic(t *testing.T) {
+	rows := layoutWaterfall(sampleSpans())
+	if len(rows) != 4 {
+		t.Fatalf("laid out %d rows, want 4", len(rows))
+	}
+	wantNames := []string{"job.run", "point", "hedge", "engine.run"}
+	wantDepth := []int{0, 1, 2, 0}
+	for i, r := range rows {
+		if r.rec.Name != wantNames[i] || r.depth != wantDepth[i] {
+			t.Errorf("row %d = %s depth %d, want %s depth %d",
+				i, r.rec.Name, r.depth, wantNames[i], wantDepth[i])
+		}
+	}
+	if !rows[3].orphan || rows[0].orphan {
+		t.Errorf("orphan flags wrong: root=%v tail=%v", rows[0].orphan, rows[3].orphan)
+	}
+	a := renderWaterfall(t, sampleSpans())
+	b := renderWaterfall(t, sampleSpans())
+	if a != b {
+		t.Error("two renders of the same span set differ")
+	}
+}
+
+// An empty span set renders a note, not a broken plot.
+func TestWaterfallEmpty(t *testing.T) {
+	out := renderWaterfall(t, nil)
+	if !strings.Contains(out, "no spans recorded") {
+		t.Error("empty waterfall missing its note")
+	}
+	if strings.Contains(out, "<rect") {
+		t.Error("empty waterfall rendered bars")
+	}
+}

@@ -228,6 +228,87 @@ func TestChaosHedgeStraggler(t *testing.T) {
 	}
 }
 
+// TestChaosHedgedRetriedTraceWellFormed runs a span-traced campaign
+// under a seeded schedule that deterministically forces both failure
+// recoveries at once — worker one's first submit straggles past the
+// hedge deadline, worker two's first submit dies with a 5xx and is
+// retried — and asserts the recovered campaign still yields a single
+// well-formed distributed trace: one root, every parent resolved (no
+// orphan spans), the hedge and the transient attempt recorded, drops
+// counted at zero. The result must stay byte-identical to the untraced
+// fault-free baseline: span recording adds telemetry, never noise.
+func TestChaosHedgedRetriedTraceWellFormed(t *testing.T) {
+	body := chaosCampaign()
+	base := chaosBaseline(t, body)
+	traced := strings.Replace(body, `{"kind": "points"`, `{"kind": "points", "spans": true`, 1)
+	ws1, ws2 := newWorkerServer(t), newWorkerServer(t)
+	h1, h2 := hostOf(t, ws1.URL), hostOf(t, ws2.URL)
+	// Chaos keys are host+path and limits are per key, so both rules pin
+	// each worker's own first leased job (every fresh worker numbers it
+	// job-000001): worker one's first lease straggles 2s on every call
+	// that touches the job — far past the 0.1s hedge deadline — and
+	// worker two's first status poll dies with one 503, a single
+	// transient strike that requeues the point without opening the
+	// breaker.
+	sched := chaos.NewSchedule(205,
+		chaos.Rule{Op: chaos.OpHTTP, Match: h1 + "/v1/jobs/job-000001", Fault: chaos.Latency,
+			Delay: 2 * time.Second, Prob: 1, Limit: 1},
+		chaos.Rule{Op: chaos.OpHTTP, Match: h2 + "/v1/jobs/job-000001", Fault: chaos.Err5xx,
+			Prob: 1, Limit: 1},
+	)
+	_, coord := newTestServer(t, Options{
+		Cluster: config.ClusterSpec{
+			Peers:         []string{ws1.URL, ws2.URL},
+			HedgeAfterSec: 0.1,
+		},
+		ClusterTransport: chaos.NewTransport(sched, nil),
+	})
+	if got := runChaosJob(t, coord, traced); !bytes.Equal(got, base) {
+		t.Fatalf("traced result under chaos differs from baseline:\ngot:  %s\nbase: %s", got, base)
+	}
+	if hedges := promValue(t, coord, "cluster_hedges_total"); hedges < 1 {
+		t.Fatalf("cluster_hedges_total = %v, want >= 1", hedges)
+	}
+	if retries := promValue(t, coord, "cluster_lease_retries_total"); retries < 1 {
+		t.Fatalf("cluster_lease_retries_total = %v, want >= 1", retries)
+	}
+
+	sr := getSpans(t, coord, "job-000001")
+	if sr.Dropped != 0 {
+		t.Fatalf("chaos trace dropped %d spans, want 0", sr.Dropped)
+	}
+	byName := checkWellFormed(t, sr)
+	if n := len(byName["hedge"]); n < 1 {
+		t.Fatalf("%d hedge spans, want >= 1", n)
+	}
+	var transient, late int
+	for _, l := range byName["lease.attempt"] {
+		switch l.Attrs["outcome"] {
+		case "transient":
+			transient++
+		case "late":
+			late++
+		}
+		if l.Attrs["outcome"] == nil {
+			t.Fatalf("lease.attempt %s never recorded an outcome: %v", l.SpanID, l.Attrs)
+		}
+	}
+	if transient < 1 {
+		t.Fatalf("no transient lease.attempt recorded under a forced 5xx (late=%d)", late)
+	}
+	// Every point settled exactly once despite the duplicate work: six
+	// remote outcomes on the coordinator side.
+	remote := 0
+	for _, p := range byName["point"] {
+		if p.Attrs["outcome"] == "remote" {
+			remote++
+		}
+	}
+	if remote != 6 {
+		t.Fatalf("%d remote point spans, want 6", remote)
+	}
+}
+
 // TestChaosWorkerDeathOpensBreaker partitions one worker's job API away
 // permanently (health stays green — the failure mode a plain liveness
 // probe cannot see): its breaker must trip, the state must be visible

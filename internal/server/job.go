@@ -10,6 +10,7 @@ import (
 	"rlsched/internal/cluster"
 	"rlsched/internal/config"
 	"rlsched/internal/experiments"
+	"rlsched/internal/obs/span"
 	"rlsched/internal/sched"
 	"rlsched/internal/trace"
 )
@@ -75,6 +76,19 @@ type TraceResponse struct {
 	Total    uint64       `json:"total"`
 	Retained int          `json:"retained"`
 	Events   []TraceEvent `json:"events"`
+}
+
+// SpansResponse is the payload of GET /v1/jobs/{id}/spans: the job's
+// distributed span trace in a stable order (start time, then span ID).
+// Dropped counts spans lost to the bounded buffer — locally, on a
+// worker, or to a failed worker span fetch — so a reader knows when the
+// tree is incomplete.
+type SpansResponse struct {
+	ID       string        `json:"id"`
+	TraceID  string        `json:"trace_id"`
+	Retained int           `json:"retained"`
+	Dropped  uint64        `json:"dropped"`
+	Spans    []span.Record `json:"spans"`
 }
 
 // PointResult is the compact per-point summary returned for JobPoints
@@ -150,6 +164,15 @@ type job struct {
 	// Recorded series are runtime-only, like the trace ring: a restored
 	// job serves an empty set.
 	series *seriesLog
+	// spans collects the job's distributed span trace when the spec asked
+	// for one ("spans": true); nil otherwise, and an untraced job pays a
+	// nil check per hook site. spanParent is the remote parent adopted
+	// from a submit's traceparent header (zero for a locally rooted
+	// trace), and reqID the correlation ID of the accepting request,
+	// forwarded on every lease this job fans out.
+	spans      *span.Trace
+	spanParent span.ID
+	reqID      string
 
 	mu       sync.Mutex
 	state    State
@@ -186,7 +209,23 @@ func newJob(id string, spec config.JobSpec, total int) *job {
 	if spec.Series != nil {
 		j.series = &seriesLog{}
 	}
+	if spec.Spans {
+		j.spans = span.New(span.DeriveTraceID(id), id, spanCap)
+	}
 	return j
+}
+
+// adoptTraceparent re-roots the job's span trace under a remote parent:
+// the trace ID comes from the coordinator and the job's root span will
+// hang off the coordinator's lease span, stitching this daemon's
+// timeline into the caller's. Only meaningful before the job runs; a
+// no-op for jobs without spans.
+func (j *job) adoptTraceparent(tp span.Traceparent) {
+	if j.spans == nil {
+		return
+	}
+	j.spans = span.New(tp.TraceID, tp.Parent.String(), spanCap)
+	j.spanParent = tp.Parent
 }
 
 // status snapshots the job for the wire.

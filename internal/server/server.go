@@ -17,6 +17,11 @@
 //	GET    /v1/jobs/{id}/events progress stream (SSE, ends at terminal)
 //	GET    /v1/jobs/{id}/trace  retained engine trace (404 unless the job
 //	                            was submitted with "trace": true)
+//	GET    /v1/jobs/{id}/spans  distributed trace of the campaign
+//	                            pipeline (404 unless the job was
+//	                            submitted with "spans": true); JSON by
+//	                            default, a self-contained HTML waterfall
+//	                            via ?format=html
 //	GET    /v1/jobs/{id}/series recorded simulation time series (404
 //	                            unless the job was submitted with a
 //	                            "series" block); JSON by default, CSV
@@ -87,6 +92,8 @@ import (
 	"rlsched/internal/experiments"
 	"rlsched/internal/journal"
 	"rlsched/internal/obs"
+	"rlsched/internal/obs/span"
+	"rlsched/internal/report"
 	"rlsched/internal/sched"
 )
 
@@ -230,6 +237,12 @@ type Server struct {
 // campaign's scheduling decisions without letting a huge job balloon the
 // daemon's memory.
 const traceCap = 4096
+
+// spanCap bounds the per-job distributed span buffer. The buffer keeps
+// its oldest entries (and counts what it drops), so the campaign and
+// point structure survives even when a huge fan-out overflows the leaf
+// spans — evicting roots would orphan whole subtrees.
+const spanCap = 4096
 
 // metrics bundles the server's registry handles, resolved once at
 // construction so the hot paths never touch the registry's lookup lock.
@@ -516,6 +529,7 @@ func New(opts Options) (*Server, error) {
 	handle("DELETE /v1/jobs/{id}", s.handleCancel)
 	handle("GET /v1/jobs/{id}/events", s.handleEvents)
 	handle("GET /v1/jobs/{id}/trace", s.handleTrace)
+	handle("GET /v1/jobs/{id}/spans", s.handleSpans)
 	handle("GET /v1/jobs/{id}/series", s.handleSeries)
 	handle("GET /v1/jobs/{id}/series/stream", s.handleSeriesStream)
 	handle("GET /v1/cluster", s.handleClusterStatus)
@@ -698,6 +712,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.seq++
 	j := newJob(fmt.Sprintf("job-%06d", s.seq), spec, total)
+	j.reqID = obs.RequestID(r.Context())
+	if j.spans != nil {
+		// A coordinator leasing this job names its own lease span in a
+		// traceparent header; adopting it stitches this daemon's spans
+		// into the caller's trace. Adoption must land before the queue
+		// send — a worker may pop the job immediately.
+		if tp, err := span.ParseTraceparent(r.Header.Get(span.Header)); err == nil {
+			j.adoptTraceparent(tp)
+		}
+	}
 	select {
 	case s.queue <- j:
 	default:
@@ -728,7 +752,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	s.m.queued.Add(1)
 	s.log.InfoContext(obs.WithJobID(r.Context(), j.id), "job accepted",
-		"kind", spec.Kind, "figure", spec.Figure, "points_total", total, "trace", spec.Trace)
+		"kind", spec.Kind, "figure", spec.Figure, "points_total", total,
+		"trace", spec.Trace, "spans", spec.Spans)
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
@@ -994,6 +1019,44 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleSpans serves a span-traced job's distributed trace: every
+// recorded span — coordinator-side campaign structure, lease attempts,
+// imported worker timelines — in a stable order, with the drop count.
+// Jobs submitted without "spans": true have no trace (they paid no span
+// cost), so the endpoint 404s for them. ?format=html renders the
+// self-contained waterfall view instead of JSON.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	if j.spans == nil {
+		writeError(w, http.StatusNotFound, "job %s was not submitted with spans enabled", j.id)
+		return
+	}
+	recs := j.spans.Snapshot()
+	if r.URL.Query().Get("format") == "html" {
+		rep := report.NewHTMLReport("Trace " + j.id)
+		rep.AddKeyValues("Trace", [][2]string{
+			{"Job", j.id},
+			{"Trace ID", j.spans.TraceID()},
+			{"Spans", strconv.Itoa(len(recs))},
+			{"Dropped", strconv.FormatUint(j.spans.Dropped(), 10)},
+		})
+		rep.AddWaterfall("Campaign waterfall", recs)
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_ = rep.Render(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, SpansResponse{
+		ID:       j.id,
+		TraceID:  j.spans.TraceID(),
+		Retained: len(recs),
+		Dropped:  j.spans.Dropped(),
+		Spans:    recs,
+	})
+}
+
 // worker drains the queue until Shutdown closes it.
 func (s *Server) worker() {
 	defer s.wg.Done()
@@ -1085,6 +1148,24 @@ func (s *Server) runJob(j *job) {
 	j.notify()
 
 	start := time.Now()
+	// A span-traced job records its whole run under one root span; the
+	// root's parent is zero for locally submitted jobs and the remote
+	// lease span for jobs a coordinator leased here, which is what
+	// stitches the two daemons' timelines into one trace. Span durations
+	// also fold into the span_duration_seconds histogram by span name.
+	var jobSpan *span.Span
+	if j.spans != nil {
+		j.spans.OnEnd(func(name string, seconds float64) {
+			s.reg.Histogram("span_duration_seconds",
+				"Durations of campaign pipeline spans by span name.",
+				obs.DefBuckets, obs.L("span", name)).Observe(seconds)
+		})
+		jobSpan = j.spans.Start(j.spanParent, "job.run")
+		jobSpan.SetStr("kind", j.spec.Kind)
+		if j.spec.Figure != "" {
+			jobSpan.SetStr("figure", j.spec.Figure)
+		}
+	}
 	prof := j.spec.Profile
 	prof.Progress = func() {
 		j.done.Add(1)
@@ -1107,12 +1188,30 @@ func (s *Server) runJob(j *job) {
 	// bypasses the hook on its own whenever the job carries in-process
 	// instrumentation (trace ring, series probes) that only a local run
 	// can feed.
-	prof.RunPoints = s.dispatcher.Runner(j.id)
+	prof.RunPoints = s.dispatcher.Runner(cluster.JobMeta{
+		ID: j.id, RequestID: j.reqID, Trace: j.spans, Parent: jobSpan.ID(),
+	})
 	if j.ring != nil {
 		prof.Engine.Tracer = j.ring
 	}
 	if j.series != nil {
 		prof.ProbeFor = j.series.probeFor(j.spec.Series.ProbeConfig())
+	}
+	if j.spans != nil && (j.ring != nil || j.series != nil) {
+		// In-process instrumentation forces the campaign to run locally
+		// (RunManyCtx bypasses RunPoints), so the dispatcher never sees
+		// these points: hang each engine run directly under job.run.
+		prof.PointSpan = func(i int, spec experiments.RunSpec) func(error) {
+			sp := j.spans.Start(jobSpan.ID(), "engine.run")
+			sp.SetInt("index", int64(i))
+			sp.SetStr("policy", string(spec.Policy))
+			return func(err error) {
+				if err != nil {
+					sp.SetStr("error", err.Error())
+				}
+				sp.End()
+			}
+		}
 	}
 
 	var (
@@ -1177,6 +1276,10 @@ func (s *Server) runJob(j *job) {
 	state, errMsg, attempts := j.state, j.err, j.attempts
 	close(j.doneCh)
 	j.mu.Unlock()
+	if jobSpan != nil {
+		jobSpan.SetStr("state", string(state))
+		jobSpan.End()
+	}
 	s.m.running.Add(-1)
 	s.m.settled[state].Inc()
 	s.m.runSeconds[state].Observe(elapsed)
