@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"rlsched/internal/audit"
 	"rlsched/internal/cache"
 	"rlsched/internal/cluster"
 	"rlsched/internal/config"
@@ -367,6 +368,57 @@ func PointLabel(s RunSpec) string { return experiments.PointLabel(s) }
 
 // NewHTMLReport starts an empty self-contained HTML report.
 func NewHTMLReport(title string) *HTMLReport { return report.NewHTMLReport(title) }
+
+// Decision audit: an opt-in bounded recorder of scheduling decisions —
+// the observed state, the candidate actions the shared memory offered
+// with their scores, the chosen action and its explore-vs-exploit kind,
+// and the reward/error feedback once the group lands — plus per-agent
+// learning-curve series. Attach an AuditRecorder via EngineConfig.Audit
+// (single run) or Profile.AuditFor (one per campaign point); daemon jobs
+// opt in with a "decisions" block and serve the log at
+// GET /v1/jobs/{id}/decisions. Auditing draws no randomness and
+// schedules no events, so audited results are byte-identical to
+// unaudited ones; a nil recorder costs one branch per decision site.
+type (
+	// AuditConfig bounds an AuditRecorder: retained decisions, candidate
+	// set size, learning-curve points and per-agent series.
+	AuditConfig = audit.Config
+	// AuditRecorder captures scheduling decisions into a bounded
+	// stride-doubling reservoir plus learning-curve series.
+	AuditRecorder = audit.Recorder
+	// AuditNote is the policy-side annotation of one decision (kind,
+	// state, epsilon, candidate set).
+	AuditNote = audit.Note
+	// Decision is one recorded scheduling decision.
+	Decision = audit.Decision
+	// DecisionLog is the wire snapshot of one run's decision audit.
+	DecisionLog = audit.Log
+	// DecisionRunLog bundles a DecisionLog with its campaign point's
+	// index and canonical label.
+	DecisionRunLog = audit.RunLog
+	// JobDecisionsSpec is the "decisions" block of a daemon JobSpec.
+	JobDecisionsSpec = config.DecisionsSpec
+)
+
+// NewAuditRecorder builds a decision recorder; the zero AuditConfig
+// selects the default bounds.
+func NewAuditRecorder(cfg AuditConfig) *AuditRecorder { return audit.NewRecorder(cfg) }
+
+// WriteDecisionsCSV exports recorded decision logs as CSV — the exact
+// bytes GET /v1/jobs/{id}/decisions?format=csv serves.
+func WriteDecisionsCSV(w io.Writer, runs []DecisionRunLog) error {
+	return audit.WriteDecisionsCSV(w, runs)
+}
+
+// ReadDecisionsCSV parses the CSV written by WriteDecisionsCSV.
+func ReadDecisionsCSV(r io.Reader) ([]DecisionRunLog, error) { return audit.ReadDecisionsCSV(r) }
+
+// NewPolicyReport assembles the explainable-scheduling HTML report for a
+// set of audited runs: learning curves, exploration decay, a state-space
+// visitation heatmap and a top-N decision table with candidate scores.
+func NewPolicyReport(title string, runs []DecisionRunLog) *HTMLReport {
+	return report.NewPolicyReport(title, runs)
+}
 
 // Large-scale streaming: scenarios of thousands of sites fed a lazily
 // generated arrival stream through a low-memory engine, so peak memory

@@ -302,6 +302,46 @@ func Benchmark_AblationIdleSleep(b *testing.B) {
 	b.ReportMetric(res.SuccessRate, "success")
 }
 
+// BenchmarkAuditOff measures the heavy adaptive-rl point exactly as
+// every library user runs it by default: no decision-audit recorder
+// attached, so the engine's audit hooks reduce to nil checks.
+// TestDisabledAuditAllocsNothing pins the zero-allocation claim for that
+// guard path; this benchmark pins its wall-clock cost against
+// BenchmarkAuditOn.
+func BenchmarkAuditOff(b *testing.B) {
+	p := benchProfile()
+	var res rlsched.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = rlsched.Run(p, rlsched.RunSpec{Policy: rlsched.AdaptiveRL, NumTasks: p.HeavyTasks, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Completed), "tasks")
+}
+
+// BenchmarkAuditOn runs the same heavy point with a bounded decision
+// recorder attached — every decision captured with state, candidates and
+// feedback. The audited run's Result is byte-identical to AuditOff's
+// (TestAuditedRunIdenticalResults); only the wall-clock differs.
+func BenchmarkAuditOn(b *testing.B) {
+	p := benchProfile()
+	var res rlsched.Result
+	var rec *rlsched.AuditRecorder
+	for i := 0; i < b.N; i++ {
+		rec = rlsched.NewAuditRecorder(rlsched.AuditConfig{})
+		p.Engine.Audit = rec
+		var err error
+		res, err = rlsched.Run(p, rlsched.RunSpec{Policy: rlsched.AdaptiveRL, NumTasks: p.HeavyTasks, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Completed), "tasks")
+	b.ReportMetric(float64(rec.TotalDecisions()), "decisions")
+}
+
 // Benchmark_AblationDVFS measures the lazy-DVFS extension with a cubic
 // power curve at the light point (slack to clock into).
 func Benchmark_AblationDVFS(b *testing.B) {

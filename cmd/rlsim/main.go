@@ -5,7 +5,7 @@
 //
 //	rlsim [-policy adaptive-rl] [-n 1000] [-cv 0] [-seed 1]
 //	      [-config profile.json] [-series-csv series.csv]
-//	      [-report run.html]
+//	      [-decisions-csv decisions.csv] [-report run.html]
 //
 // Large-scale streaming runs (thousands of sites, millions of tasks,
 // O(active) memory) use the scale presets instead of a profile:
@@ -45,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dumpGroups := fs.String("dump-groups", "", "write per-group records CSV to this file")
 	dumpGantt := fs.String("dump-gantt", "", "write the per-processor schedule (Gantt CSV) to this file")
 	seriesCSV := fs.String("series-csv", "", "record in-sim time series and write them as CSV to this file")
+	decisionsCSV := fs.String("decisions-csv", "", "record the scheduling-decision audit and write it as CSV to this file")
 	reportPath := fs.String("report", "", "write a self-contained HTML run report to this file")
 	seriesCadence := fs.Float64("series-cadence", 0, "sim-time sampling interval for -series-csv/-report (0 = default)")
 	seriesMax := fs.Int("series-max", 0, "retained points per series before downsampling (0 = default)")
@@ -98,6 +99,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			probedMu.Lock()
 			probed = append(probed, probedRun{index: i, label: rlsched.PointLabel(spec), rec: rec})
 			probedMu.Unlock()
+			return rec
+		}
+	}
+
+	// Either decision output attaches an audit recorder the same way,
+	// exported under the point's canonical label — the same label (and
+	// CSV writer) the daemon's decisions endpoint uses.
+	type auditedRun struct {
+		index int
+		label string
+		rec   *rlsched.AuditRecorder
+	}
+	var (
+		auditedMu sync.Mutex
+		audited   []auditedRun
+	)
+	if *decisionsCSV != "" || *reportPath != "" {
+		profile.AuditFor = func(i int, spec rlsched.RunSpec) *rlsched.AuditRecorder {
+			rec := rlsched.NewAuditRecorder(rlsched.AuditConfig{})
+			auditedMu.Lock()
+			audited = append(audited, auditedRun{index: i, label: rlsched.PointLabel(spec), rec: rec})
+			auditedMu.Unlock()
 			return rec
 		}
 	}
@@ -163,6 +186,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 	}
 
+	var decRuns []rlsched.DecisionRunLog
+	if *decisionsCSV != "" || *reportPath != "" {
+		// Same canonical order as the daemon's decisions endpoint: by
+		// label, then campaign index.
+		sort.Slice(audited, func(i, j int) bool {
+			if audited[i].label != audited[j].label {
+				return audited[i].label < audited[j].label
+			}
+			return audited[i].index < audited[j].index
+		})
+		decRuns = make([]rlsched.DecisionRunLog, len(audited))
+		for i, ar := range audited {
+			log, _ := ar.rec.Snapshot()
+			decRuns[i] = rlsched.DecisionRunLog{Index: ar.index, Label: ar.label, Log: log}
+		}
+		if *decisionsCSV != "" {
+			if err := writeFile(*decisionsCSV, func(w io.Writer) error {
+				return rlsched.WriteDecisionsCSV(w, decRuns)
+			}); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *decisionsCSV)
+		}
+	}
+
 	if *seriesCSV != "" || *reportPath != "" {
 		// Same canonical order as the daemon's series endpoint: by label,
 		// then campaign index.
@@ -199,6 +248,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			})
 			for _, rs := range runs {
 				rep.AddRunSeries(rs)
+			}
+			// The decision audit rides along in the same report: learning
+			// curves, state-visitation heatmap, and the top-decision table
+			// that -decisions-csv exports in raw form.
+			for _, dr := range decRuns {
+				if len(dr.Curves) > 0 {
+					rep.AddRunSeries(rlsched.ProbeRunSeries{
+						Index: dr.Index, Label: dr.Label + " — learning curves", Series: dr.Curves,
+					})
+				}
+				rep.AddStateHeatmap(dr)
+				rep.AddDecisionTable(dr)
 			}
 			if err := writeFile(*reportPath, rep.Render); err != nil {
 				fmt.Fprintln(stderr, err)

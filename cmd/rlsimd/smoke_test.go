@@ -200,6 +200,131 @@ func TestSpansSmoke(t *testing.T) {
 	}
 }
 
+// TestDecisionsSmoke is the decision-audit smoke check CI runs against a
+// real daemon process path: boot rlsimd, run a tiny audited adaptive-rl
+// job, fetch GET /v1/jobs/{id}/decisions in JSON and CSV and validate
+// the shapes — decisions recorded, kinds sane, feedback delivered, and
+// the CSV header matching the CLI's -decisions-csv export.
+func TestDecisionsSmoke(t *testing.T) {
+	addr, stop := bootDaemon(t)
+	defer stop()
+	base := "http://" + addr
+
+	body := `{"kind": "points", "decisions": {},
+		"points": [{"Policy": "adaptive-rl", "NumTasks": 40, "Seed": 1}],
+		"profile": {"Replications": 1, "ObservationPeriod": 300, "LightTasks": 20, "HeavyTasks": 30, "Workers": 1}}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: HTTP %d, id %q", resp.StatusCode, st.ID)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished (state %s)", st.ID, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		r, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+
+	r, err := http.Get(base + "/v1/jobs/" + st.ID + "/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("decisions: HTTP %d", r.StatusCode)
+	}
+	var dr struct {
+		ID   string `json:"id"`
+		Runs []struct {
+			Label     string `json:"label"`
+			Total     uint64 `json:"total"`
+			Fed       uint64 `json:"fed"`
+			Decisions []struct {
+				Kind  string `json:"kind"`
+				Agent int    `json:"agent"`
+			} `json:"decisions"`
+		} `json:"runs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&dr); err != nil {
+		t.Fatalf("decisions payload does not parse: %v", err)
+	}
+	if dr.ID != st.ID || len(dr.Runs) != 1 {
+		t.Fatalf("decisions shape: id=%q runs=%d", dr.ID, len(dr.Runs))
+	}
+	run := dr.Runs[0]
+	if run.Total == 0 || len(run.Decisions) == 0 || run.Fed == 0 {
+		t.Fatalf("audited run empty: total=%d retained=%d fed=%d", run.Total, len(run.Decisions), run.Fed)
+	}
+	kinds := map[string]bool{"keep": true, "explore": true, "exploit": true, "fallback": true, "policy": true}
+	for _, d := range run.Decisions {
+		if !kinds[d.Kind] {
+			t.Fatalf("decision has unknown kind %q", d.Kind)
+		}
+	}
+
+	cr, err := http.Get(base + "/v1/jobs/" + st.ID + "/decisions?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cr.Body.Close()
+	if cr.StatusCode != http.StatusOK {
+		t.Fatalf("decisions csv: HTTP %d", cr.StatusCode)
+	}
+	var csvBuf bytes.Buffer
+	if _, err := csvBuf.ReadFrom(cr.Body); err != nil {
+		t.Fatal(err)
+	}
+	wantHeader := "run,label,seq,t,agent,kind,opnum,mode,load,free_slots,mean_power,site_load,epsilon,fed,reward,error,feedback_at,candidates"
+	first, _, _ := strings.Cut(csvBuf.String(), "\n")
+	if strings.TrimSpace(first) != wantHeader {
+		t.Fatalf("decisions CSV header = %q, want %q", first, wantHeader)
+	}
+
+	// A job submitted without a decisions block paid nothing and has
+	// nothing to serve.
+	plain := `{"kind": "points",
+		"points": [{"Policy": "greedy", "NumTasks": 10, "Seed": 1}],
+		"profile": {"Replications": 1, "ObservationPeriod": 300, "LightTasks": 20, "HeavyTasks": 30, "Workers": 1}}`
+	resp2, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	nr, err := http.Get(base + "/v1/jobs/" + st2.ID + "/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr.Body.Close()
+	if nr.StatusCode != http.StatusNotFound {
+		t.Fatalf("decisions without block: HTTP %d, want 404", nr.StatusCode)
+	}
+}
+
 // TestPprofFlag checks -pprof mounts the profiling mux on the daemon.
 func TestPprofFlag(t *testing.T) {
 	addr, stop := bootDaemon(t, "-pprof")

@@ -1,0 +1,226 @@
+package audit
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"rlsched/internal/grouping"
+	"rlsched/internal/memory"
+)
+
+func act(op int) memory.Action { return memory.Action{Opnum: op, Mode: grouping.ModeMixed} }
+
+// TestReservoirBoundAndStride drives far more decisions than the bound
+// and checks the reservoir stays at O(cap), keeps exact stride
+// multiples, and bumps the epoch on every decimation.
+func TestReservoirBoundAndStride(t *testing.T) {
+	r := NewRecorder(Config{MaxDecisions: 16})
+	const n = 1000
+	for i := 0; i < n; i++ {
+		r.Decision(float64(i), i%3, act(1+i%5), Note{Kind: KindExplore, Epsilon: 0.5})
+	}
+	log, epoch := r.Snapshot()
+	if log.Total != n {
+		t.Fatalf("Total = %d, want %d", log.Total, n)
+	}
+	if log.Retained >= 16 || log.Retained < 8 {
+		t.Fatalf("Retained = %d, want in [8, 16)", log.Retained)
+	}
+	if epoch == 0 {
+		t.Fatal("epoch never bumped despite decimation")
+	}
+	for i, d := range log.Decisions {
+		if d.Seq != uint64(i)*log.Stride {
+			t.Fatalf("decision %d has Seq %d, want %d (stride %d)", i, d.Seq, uint64(i)*log.Stride, log.Stride)
+		}
+	}
+	if log.Kinds[KindExplore] != n {
+		t.Fatalf("Kinds[explore] = %d, want %d", log.Kinds[KindExplore], n)
+	}
+	if log.ExplorationRatio != 1 {
+		t.Fatalf("ExplorationRatio = %g, want 1", log.ExplorationRatio)
+	}
+}
+
+// TestFeedbackAttribution checks a group's feedback lands on the
+// decision that produced it and feeds the learning curves.
+func TestFeedbackAttribution(t *testing.T) {
+	r := NewRecorder(Config{})
+	r.Decision(1, 7, act(4), Note{Kind: KindExploit, Epsilon: 0.3})
+	r.Assigned(7, 100)
+	r.Decision(2, 7, act(4), Note{Kind: KindKeep})
+	r.Feedback(100, 5, 3, 0.8)
+	log, _ := r.Snapshot()
+	if len(log.Decisions) != 2 {
+		t.Fatalf("retained %d decisions, want 2", len(log.Decisions))
+	}
+	d := log.Decisions[0]
+	if !d.Fed || d.Reward != 3 || d.Error != 0.8 || d.FeedbackAt != 5 {
+		t.Fatalf("feedback did not land on decision 0: %+v", d)
+	}
+	if log.Decisions[1].Fed {
+		t.Fatalf("keep decision wrongly fed: %+v", log.Decisions[1])
+	}
+	if log.Fed != 1 {
+		t.Fatalf("Fed = %d, want 1", log.Fed)
+	}
+	var sawReward, sawErr bool
+	for _, c := range log.Curves {
+		switch c.Name {
+		case "reward":
+			sawReward = len(c.Points) == 1 && c.Points[0].V == 3
+		case "td_error":
+			sawErr = len(c.Points) == 1 && c.Points[0].V == 0.8
+		}
+	}
+	if !sawReward || !sawErr {
+		t.Fatalf("reward/td_error curves missing or wrong: %+v", log.Curves)
+	}
+	// Feedback for an unknown group is ignored.
+	r.Feedback(999, 6, 1, 1)
+	if log2, _ := r.Snapshot(); log2.Fed != 1 {
+		t.Fatalf("unknown group fed the log: Fed = %d", log2.Fed)
+	}
+}
+
+// TestCurveDownsampling checks a learning curve stays bounded and keeps
+// stride-mean semantics.
+func TestCurveDownsampling(t *testing.T) {
+	r := NewRecorder(Config{MaxPoints: 8})
+	for i := 0; i < 100; i++ {
+		r.Decision(float64(i), 0, act(1), Note{Kind: KindExplore, Epsilon: 1})
+	}
+	log, _ := r.Snapshot()
+	for _, c := range log.Curves {
+		if len(c.Points) > 8 {
+			t.Fatalf("curve %s has %d points, want <= 8", c.Name, len(c.Points))
+		}
+		if c.Name == "epsilon" {
+			for _, p := range c.Points {
+				if p.V != 1 {
+					t.Fatalf("epsilon curve point %v, want mean 1", p)
+				}
+			}
+		}
+	}
+}
+
+// TestUnannotatedDecisionIsPolicyKind pins the engine contract: an
+// empty note records as KindPolicy.
+func TestUnannotatedDecisionIsPolicyKind(t *testing.T) {
+	r := NewRecorder(Config{})
+	r.Decision(1, 0, act(2), Note{})
+	log, _ := r.Snapshot()
+	if log.Kinds[KindPolicy] != 1 || log.Decisions[0].Kind != KindPolicy {
+		t.Fatalf("unannotated decision kinds = %v", log.Kinds)
+	}
+	if log.Decided != 0 || log.ExplorationRatio != 0 {
+		t.Fatalf("policy decision counted as re-decision: %+v", log)
+	}
+}
+
+// TestAgentKindOverflow checks per-agent metric counters fold agents
+// beyond the bound into OverflowAgent instead of growing unboundedly.
+func TestAgentKindOverflow(t *testing.T) {
+	r := NewRecorder(Config{})
+	for agent := 0; agent < maxKindAgents+10; agent++ {
+		r.Decision(1, agent, act(1), Note{Kind: KindExploit})
+	}
+	counts := r.AgentKindCounts()
+	if len(counts) > maxKindAgents+1 {
+		t.Fatalf("per-agent counters grew to %d entries, want <= %d", len(counts), maxKindAgents+1)
+	}
+	if counts[OverflowAgent][KindExploit] != 10 {
+		t.Fatalf("overflow bucket = %v, want 10 exploit", counts[OverflowAgent])
+	}
+}
+
+// TestDecisionsCSVRoundTrip checks a representative export survives a
+// write/read cycle exactly, including candidates and infinite errors.
+func TestDecisionsCSVRoundTrip(t *testing.T) {
+	runs := []RunLog{
+		{Index: 0, Label: "adaptive-rl n=500 cv=0.5 seed=1", Log: Log{Decisions: []Decision{
+			{
+				Seq: 0, T: 1.5, Agent: 2, Kind: KindExplore,
+				State:   memory.State{Load: 3.25, FreeSlots: 4, MeanPower: 72.5, SiteLoad: 13},
+				Action:  memory.Action{Opnum: 4, Mode: grouping.ModeIdentical},
+				Epsilon: 0.75,
+				Candidates: []memory.Candidate{
+					{AgentID: 1, Cycle: 3, Action: act(2), Similarity: 0.5, LVal: 2.5, Score: 1.25},
+					{AgentID: 0, Cycle: 1, Action: act(5), Similarity: 0.25, LVal: 4, Score: 1},
+				},
+				Fed: true, Reward: 3, Error: math.Inf(1), FeedbackAt: 9.5,
+			},
+			{Seq: 4, T: 2.5, Agent: 0, Kind: KindKeep, Action: act(4)},
+		}}},
+		{Index: 1, Label: "greedy n=500, cv=0.5 \"q\"", Log: Log{Decisions: []Decision{
+			{Seq: 0, T: 0.125, Agent: 1, Kind: KindPolicy, Action: act(1)},
+		}}},
+	}
+	for i := range runs {
+		runs[i].Retained = len(runs[i].Decisions)
+	}
+	var buf bytes.Buffer
+	if err := WriteDecisionsCSV(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDecisionsCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reading back: %v\n%s", err, buf.String())
+	}
+	want := make([]RunLog, len(runs))
+	for i, r := range runs {
+		want[i] = RunLog{Index: r.Index, Label: r.Label}
+		want[i].Decisions = r.Decisions
+		want[i].Retained = r.Retained
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCandidateBudget pins the capture-skip contract: the budget is
+// TopK exactly when the next decision lands on the keep stride, so
+// every retained decision could have captured candidates and no
+// off-stride decision pays for a scan.
+func TestCandidateBudget(t *testing.T) {
+	r := NewRecorder(Config{MaxDecisions: 8, TopK: 5})
+	for i := 0; i < 200; i++ {
+		want := 0
+		if uint64(i)%r.stride == 0 {
+			want = 5
+		}
+		if got := r.CandidateBudget(); got != want {
+			t.Fatalf("decision %d (stride %d): CandidateBudget = %d, want %d", i, r.stride, got, want)
+		}
+		note := Note{Kind: KindExploit}
+		if want > 0 {
+			note.Candidates = []memory.Candidate{{AgentID: 1, Action: act(1), Score: 1}}
+		}
+		r.Decision(float64(i), 0, act(1), note)
+	}
+	log, _ := r.Snapshot()
+	for _, d := range log.Decisions {
+		if len(d.Candidates) == 0 {
+			t.Fatalf("retained decision %d captured no candidates despite on-stride budget", d.Seq)
+		}
+	}
+}
+
+// TestSnapshotIsolation checks a snapshot is a deep copy: recording
+// after Snapshot must not mutate the returned log.
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRecorder(Config{})
+	r.Decision(1, 0, act(1), Note{Kind: KindExplore, Epsilon: 1})
+	log, _ := r.Snapshot()
+	before := len(log.Decisions)
+	pts := len(log.Curves[0].Points)
+	for i := 0; i < 50; i++ {
+		r.Decision(float64(i+2), 0, act(1), Note{Kind: KindExplore, Epsilon: 1})
+	}
+	if len(log.Decisions) != before || len(log.Curves[0].Points) != pts {
+		t.Fatal("snapshot aliases live recorder state")
+	}
+}

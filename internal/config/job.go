@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"rlsched/internal/audit"
 	"rlsched/internal/experiments"
 	"rlsched/internal/probe"
 )
@@ -81,6 +82,15 @@ type JobSpec struct {
 	// Absent by default: an unprobed job pays no sampling cost at all
 	// (the endpoints then return 404).
 	Series *SeriesSpec `json:"series,omitempty"`
+	// Decisions, when present, attaches a decision-audit recorder to every
+	// point the job runs: each scheduling decision's state, candidate
+	// scores, explore-vs-exploit kind and reward feedback is kept in a
+	// bounded reservoir and served by GET /v1/jobs/{id}/decisions (JSON,
+	// ?format=csv, ?format=html policy report; streamed live by
+	// .../decisions/stream). Absent by default: an unaudited job pays no
+	// audit cost at all (the endpoints then return 404) and its results
+	// are byte-identical to an audited run's.
+	Decisions *DecisionsSpec `json:"decisions,omitempty"`
 	// Profile holds every experiment knob; omitted fields keep the
 	// default profile's values, exactly like File.Profile.
 	Profile experiments.Profile `json:"profile"`
@@ -100,6 +110,45 @@ type SeriesSpec struct {
 	// Select lists the series families to record (see probe.Families);
 	// empty records all of them.
 	Select []string `json:"select,omitempty"`
+}
+
+// DecisionsSpec configures the decision-audit recorder for a job. The
+// zero value selects the audit package's defaults.
+type DecisionsSpec struct {
+	// MaxDecisions bounds retained decisions per point before
+	// stride-doubling decimation; 0 selects the audit default.
+	MaxDecisions int `json:"max_decisions,omitempty"`
+	// TopK bounds the candidate actions captured per decision; 0 selects
+	// the audit default.
+	TopK int `json:"top_k,omitempty"`
+	// MaxPoints bounds retained learning-curve points per series; 0
+	// selects the audit default.
+	MaxPoints int `json:"max_points,omitempty"`
+}
+
+// AuditConfig translates the spec into the audit package's config.
+func (s *DecisionsSpec) AuditConfig() audit.Config {
+	if s == nil {
+		return audit.Config{}
+	}
+	return audit.Config{MaxDecisions: s.MaxDecisions, TopK: s.TopK, MaxPoints: s.MaxPoints}
+}
+
+// validate rejects malformed decisions blocks.
+func (s *DecisionsSpec) validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.MaxDecisions < 0 {
+		return fmt.Errorf("config: decisions max_decisions must be >= 0, got %d", s.MaxDecisions)
+	}
+	if s.TopK < 0 {
+		return fmt.Errorf("config: decisions top_k must be >= 0, got %d", s.TopK)
+	}
+	if s.MaxPoints < 0 {
+		return fmt.Errorf("config: decisions max_points must be >= 0, got %d", s.MaxPoints)
+	}
+	return nil
 }
 
 // ScaleSpec is the wire form of one large-scale streaming scenario: a
@@ -187,6 +236,9 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		return JobSpec{}, fmt.Errorf("config: max_retries must be >= 0, got %d", s.MaxRetries)
 	}
 	if err := s.Series.validate(); err != nil {
+		return JobSpec{}, err
+	}
+	if err := s.Decisions.validate(); err != nil {
 		return JobSpec{}, err
 	}
 	if s.Kind != JobScale && s.Scale != nil {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"rlsched/internal/audit"
 	"rlsched/internal/experiments"
 	"rlsched/internal/probe"
 )
@@ -282,6 +283,55 @@ func TestJobSeriesValidation(t *testing.T) {
 	s.Series = &SeriesSpec{}
 	if _, err := s.Normalize(); err != nil {
 		t.Fatalf("empty series block rejected: %v", err)
+	}
+}
+
+func TestJobDecisionsRoundTrip(t *testing.T) {
+	s := validFigureJob()
+	s.Decisions = &DecisionsSpec{MaxDecisions: 128, TopK: 5, MaxPoints: 64}
+	data, err := MarshalJob(s)
+	if err != nil {
+		t.Fatalf("MarshalJob: %v", err)
+	}
+	got, err := UnmarshalJob(data)
+	if err != nil {
+		t.Fatalf("UnmarshalJob: %v", err)
+	}
+	if got.Decisions == nil || got.Decisions.MaxDecisions != 128 ||
+		got.Decisions.TopK != 5 || got.Decisions.MaxPoints != 64 {
+		t.Fatalf("round trip lost decisions block: %+v", got.Decisions)
+	}
+	cfg := got.Decisions.AuditConfig()
+	if cfg.MaxDecisions != 128 || cfg.TopK != 5 || cfg.MaxPoints != 64 {
+		t.Fatalf("AuditConfig mismatch: %+v", cfg)
+	}
+	// A job without the block maps to the zero audit config.
+	if zc := (*DecisionsSpec)(nil).AuditConfig(); zc != (audit.Config{}) {
+		t.Fatalf("nil DecisionsSpec should map to zero audit config, got %+v", zc)
+	}
+}
+
+func TestJobDecisionsValidation(t *testing.T) {
+	cases := []struct {
+		name      string
+		decisions DecisionsSpec
+	}{
+		{"negative max_decisions", DecisionsSpec{MaxDecisions: -1}},
+		{"negative top_k", DecisionsSpec{TopK: -2}},
+		{"negative max_points", DecisionsSpec{MaxPoints: -5}},
+	}
+	for _, tc := range cases {
+		s := validFigureJob()
+		s.Decisions = &tc.decisions
+		if _, err := s.Normalize(); err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, tc.decisions)
+		}
+	}
+	// An empty block is valid and means "audit with defaults".
+	s := validFigureJob()
+	s.Decisions = &DecisionsSpec{}
+	if _, err := s.Normalize(); err != nil {
+		t.Fatalf("empty decisions block rejected: %v", err)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"rlsched/internal/audit"
 	"rlsched/internal/grouping"
 	"rlsched/internal/memory"
 	"rlsched/internal/neural"
@@ -273,13 +274,21 @@ func lvalTarget(lval float64) float64 { return lval / (1 + lval) }
 func (p *AdaptiveRL) ChooseAction(ctx *sched.Context, ag *sched.Agent, _ *workload.Task) sched.Action {
 	st := p.agents[ag.ID]
 	if !st.redecide && !st.useMemoryNext {
+		if ctx.Audit != nil {
+			ctx.SetAuditNote(audit.Note{Kind: audit.KindKeep})
+		}
 		return sched.Action{Opnum: st.lastAction.Opnum, Mode: st.lastAction.Mode}
 	}
 	st.redecide = false
 	state := siteState(ctx, ag)
 	maxOp := ctx.MaxOpnum()
+	// Hoisted out of the case guard so the audit note can record it; the
+	// computation draws no randomness, so hoisting keeps the run's RNG
+	// draw sequence — and therefore its results — identical.
+	eps := p.epsilon(ctx, st)
 
 	var action memory.Action
+	kind := audit.KindExploit
 	switch {
 	case st.useMemoryNext:
 		// Reward regressed: adopt the remembered action with max l_val
@@ -291,7 +300,8 @@ func (p *AdaptiveRL) ChooseAction(ctx *sched.Context, ag *sched.Agent, _ *worklo
 			action = e.Action
 		}
 		p.stats.MemoryFallback++
-	case ctx.Rand.Bool(p.epsilon(ctx, st)):
+		kind = audit.KindFallback
+	case ctx.Rand.Bool(eps):
 		// Explore. Half the trials perturb the current action locally
 		// (opnum ±1) — cheap probes of the neighbourhood — and half jump
 		// globally. The merge mode leans toward the mixed policy, which
@@ -316,9 +326,20 @@ func (p *AdaptiveRL) ChooseAction(ctx *sched.Context, ag *sched.Agent, _ *worklo
 			}
 		}
 		p.stats.Explore++
+		kind = audit.KindExplore
 	default:
 		action = p.exploit(ctx, st, state, maxOp)
 		p.stats.Exploit++
+	}
+	if ctx.Audit != nil {
+		note := audit.Note{Kind: kind, State: state, Epsilon: eps}
+		// The budget is zero for decisions the reservoir will not retain,
+		// sparing the linear memory scan on the vast majority of decisions
+		// once the keep stride has grown.
+		if k := ctx.Audit.CandidateBudget(); k > 0 {
+			note.Candidates = p.mem(ctx, st).TopFor(state, k, nil)
+		}
+		ctx.SetAuditNote(note)
 	}
 	if action.Opnum < len(p.stats.OpnumChosen) {
 		p.stats.OpnumChosen[action.Opnum]++

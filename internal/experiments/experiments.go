@@ -22,6 +22,7 @@ import (
 	"log/slog"
 	"runtime/debug"
 
+	"rlsched/internal/audit"
 	"rlsched/internal/baselines/cooperative"
 	"rlsched/internal/baselines/onlinerl"
 	"rlsched/internal/baselines/predictive"
@@ -153,6 +154,13 @@ type Profile struct {
 	// Runtime-only, like Progress: a nil hook costs nothing and sampling
 	// never affects results.
 	ProbeFor func(index int, spec RunSpec) *probe.Recorder `json:"-"`
+	// AuditFor, when non-nil, supplies a per-point decision-audit recorder,
+	// with exactly the ProbeFor contract: called once per simulation point
+	// with the point's index and spec, from worker goroutines concurrently;
+	// return nil to leave a point unaudited. Runtime-only. Like ProbeFor,
+	// its presence forces the campaign to run locally — a recorder cannot
+	// follow a point to another machine or be fed from the result cache.
+	AuditFor func(index int, spec RunSpec) *audit.Recorder `json:"-"`
 	// PointSpan, when non-nil, brackets every locally executed simulation
 	// point: RunManyCtx calls it just before point i runs with the
 	// point's index in the expanded spec list and its spec, and calls the
@@ -315,11 +323,14 @@ func runScenario(p Profile, spec RunSpec, policy sched.Policy, gen workloadGen) 
 	if err != nil {
 		return sched.Result{}, err
 	}
-	// The campaign runner resolves ProbeFor per point (it knows the
-	// index); a direct single-point Run resolves it here as point 0. The
-	// nil-Probe guard keeps the two paths from double-invoking the hook.
+	// The campaign runner resolves ProbeFor/AuditFor per point (it knows
+	// the index); a direct single-point Run resolves them here as point 0.
+	// The nil guards keep the two paths from double-invoking the hooks.
 	if p.ProbeFor != nil && p.Engine.Probe == nil {
 		p.Engine.Probe = p.ProbeFor(0, spec)
+	}
+	if p.AuditFor != nil && p.Engine.Audit == nil {
+		p.Engine.Audit = p.AuditFor(0, spec)
 	}
 	eng, err := sched.New(p.Engine, pl, tasks, policy, r.Split("engine"))
 	if err != nil {

@@ -158,8 +158,10 @@ func RunManyCtx(ctx context.Context, p Profile, specs []RunSpec) ([]sched.Result
 	}
 	// A pluggable executor (cache lookup, cluster fan-out) takes the
 	// whole campaign — unless the profile carries in-process
-	// instrumentation (probes, tracers) that only a local run can feed.
-	if p.RunPoints != nil && p.ProbeFor == nil && p.Engine.Probe == nil && p.Engine.Tracer == nil {
+	// instrumentation (probes, audit recorders, tracers) that only a
+	// local run can feed.
+	if p.RunPoints != nil && p.ProbeFor == nil && p.Engine.Probe == nil &&
+		p.AuditFor == nil && p.Engine.Audit == nil && p.Engine.Tracer == nil {
 		return p.RunPoints(ctx, p, specs)
 	}
 	// Resolve instrumentation once, outside the hot loop: points pay a
@@ -181,6 +183,9 @@ func RunManyCtx(ctx context.Context, p Profile, specs []RunSpec) ([]sched.Result
 			// the profile, so concurrent workers never share an Engine
 			// config.
 			pp.Engine.Probe = pp.ProbeFor(i, specs[i])
+		}
+		if pp.AuditFor != nil {
+			pp.Engine.Audit = pp.AuditFor(i, specs[i])
 		}
 		var endSpan func(error)
 		if p.PointSpan != nil {

@@ -123,6 +123,10 @@ type Shared struct {
 	// experience — the shared-memory hit rate probes report.
 	lookups uint64
 	hits    uint64
+	// evictions counts experiences dropped by the per-agent bound, so
+	// occupancy (total − evictions) and eviction pressure are visible in
+	// run stats and /metrics without walking the rings.
+	evictions uint64
 }
 
 // NewShared creates a memory with the paper's per-agent capacity.
@@ -151,6 +155,7 @@ func (m *Shared) Record(e Experience) {
 	if len(ring) >= m.capacity {
 		copy(ring, ring[1:])
 		ring = ring[:len(ring)-1]
+		m.evictions++
 	}
 	ring = append(ring, e)
 	m.perAgent[e.AgentID] = ring
@@ -242,6 +247,70 @@ func (m *Shared) BestFor(s State) (Experience, bool) {
 	return best, found
 }
 
+// Candidate is one retained experience scored against a query state —
+// the decision-audit view of a BestFor scan. Score is the selection
+// criterion sim(state)·l_val; Similarity and LVal are its factors.
+type Candidate struct {
+	AgentID    int     `json:"agent"`
+	Cycle      int     `json:"cycle"`
+	Action     Action  `json:"action"`
+	Similarity float64 `json:"similarity"`
+	LVal       float64 `json:"lval"`
+	Score      float64 `json:"score"`
+}
+
+// TopFor returns the k highest-scoring candidates for the given state,
+// best first, appended to out (which may be nil). Ties are broken by
+// (AgentID, Cycle) so the result is deterministic regardless of map
+// iteration order. TopFor is an audit-only observation: it does not
+// touch the lookup/hit counters, and it never prunes, so it may see
+// candidates a pruned BestFor scan skipped — but the top entry always
+// scores at least as high as BestFor's winner.
+func (m *Shared) TopFor(s State, k int, out []Candidate) []Candidate {
+	if k <= 0 {
+		return out
+	}
+	base := len(out)
+	better := func(a, b Candidate) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.AgentID != b.AgentID {
+			return a.AgentID < b.AgentID
+		}
+		return a.Cycle < b.Cycle
+	}
+	for id, ring := range m.perAgent {
+		for _, e := range ring {
+			c := Candidate{
+				AgentID:    id,
+				Cycle:      e.Cycle,
+				Action:     e.Action,
+				Similarity: e.State.Similarity(s),
+				LVal:       e.LVal(),
+			}
+			c.Score = c.Similarity * c.LVal
+			if math.IsNaN(c.Score) {
+				continue
+			}
+			if len(out)-base == k && !better(c, out[len(out)-1]) {
+				continue
+			}
+			// Insertion sort into the bounded tail; k is small.
+			pos := len(out)
+			for pos > base && better(c, out[pos-1]) {
+				pos--
+			}
+			if len(out)-base < k {
+				out = append(out, Candidate{})
+			}
+			copy(out[pos+1:], out[pos:])
+			out[pos] = c
+		}
+	}
+	return out
+}
+
 // BestAction is BestFor restricted to the action, with a default when
 // memory is empty.
 func (m *Shared) BestAction(s State, def Action) Action {
@@ -302,6 +371,18 @@ func (m *Shared) MeanError() float64 {
 
 // Lookups returns the lifetime Best/BestFor call count.
 func (m *Shared) Lookups() uint64 { return m.lookups }
+
+// Hits returns how many Best/BestFor calls found an experience.
+func (m *Shared) Hits() uint64 { return m.hits }
+
+// Evictions returns the lifetime count of experiences dropped by the
+// per-agent capacity bound.
+func (m *Shared) Evictions() uint64 { return m.evictions }
+
+// Occupancy returns the number of currently retained experiences,
+// derived from the lifetime counters (every recorded experience is
+// either retained or was evicted) so it costs O(1).
+func (m *Shared) Occupancy() uint64 { return m.total - m.evictions }
 
 // HitRate returns the fraction of Best/BestFor lookups that found an
 // experience (0 before the first lookup).

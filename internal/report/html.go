@@ -348,6 +348,7 @@ svg { max-width: 100%; height: auto; display: block; background: var(--surface-1
 .s6 { stroke: var(--series-6); } .dot.s6 { fill: var(--series-6); }
 .s7 { stroke: var(--series-7); } .dot.s7 { fill: var(--series-7); }
 .s8 { stroke: var(--series-8); } .dot.s8 { fill: var(--series-8); }
+.hm-cell { fill: var(--series-1); stroke: var(--surface-1); stroke-width: 1; }
 .wf-name { fill: var(--text-secondary); font-size: 11px; }
 .wf-bar { stroke: none; }
 .wf-bar.s1 { fill: var(--series-1); } .wf-bar.s2 { fill: var(--series-2); }

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rlsched/internal/audit"
+	"rlsched/internal/memory"
+)
+
+// TestAuditedRunIdenticalResults pins the audit contract, which is
+// stricter than the probe's: recording decisions draws no randomness and
+// schedules no DES events, so an audited run's Result — including the
+// instrumentation counters — is byte-identical to an unaudited run of
+// the same spec.
+func TestAuditedRunIdenticalResults(t *testing.T) {
+	plain := statsScenario(t, 11, DefaultConfig()).MustRun()
+
+	cfg := DefaultConfig()
+	rec := audit.NewRecorder(audit.Config{})
+	cfg.Audit = rec
+	audited := statsScenario(t, 11, cfg).MustRun()
+
+	pj, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := json.Marshal(audited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pj) != string(aj) {
+		t.Fatalf("audit changed simulation outcomes:\naudited   %s\nunaudited %s", aj, pj)
+	}
+	if rec.TotalDecisions() == 0 {
+		t.Fatal("audited run recorded no decisions")
+	}
+	log, _ := rec.Snapshot()
+	if log.Fed == 0 {
+		t.Fatal("audited run recorded no feedback")
+	}
+}
+
+// TestAuditRecordsEngineHooks checks the three engine hook sites fire:
+// every arrival decision is recorded, assignments attribute group IDs,
+// and group completion delivers reward/error feedback onto the retained
+// decisions.
+func TestAuditRecordsEngineHooks(t *testing.T) {
+	cfg := DefaultConfig()
+	rec := audit.NewRecorder(audit.Config{MaxDecisions: 64})
+	cfg.Audit = rec
+	res := statsScenario(t, 3, cfg).MustRun()
+
+	log, _ := rec.Snapshot()
+	if log.Total == 0 || log.Retained == 0 {
+		t.Fatalf("no decisions recorded: %+v", log)
+	}
+	if log.Retained > 64 {
+		t.Fatalf("reservoir bound ignored: retained %d > 64", log.Retained)
+	}
+	if log.Fed == 0 {
+		t.Fatal("no feedback delivered to retained decisions")
+	}
+	var fed int
+	for _, d := range log.Decisions {
+		if d.Fed {
+			fed++
+			if d.FeedbackAt < d.T {
+				t.Fatalf("decision %d fed before it was made: t=%g feedback_at=%g", d.Seq, d.T, d.FeedbackAt)
+			}
+		}
+		if d.T < 0 || d.T > res.EndTime {
+			t.Fatalf("decision %d outside the run: t=%g end=%g", d.Seq, d.T, res.EndTime)
+		}
+	}
+	if fed == 0 {
+		t.Fatal("no retained decision carries feedback")
+	}
+	// The greedy policy never annotates, so every decision lands as the
+	// plain policy kind.
+	for _, d := range log.Decisions {
+		if d.Kind != audit.KindPolicy {
+			t.Fatalf("unannotated decision has kind %q, want %q", d.Kind, audit.KindPolicy)
+		}
+	}
+}
+
+// TestDisabledAuditAllocsNothing extends the disabled-instrumentation
+// contract to the audit hooks: with no Recorder attached, the guard
+// sites the engine hot path runs — decision capture on arrival, group
+// attribution on assignment, feedback on completion — are branch-only
+// and allocate nothing.
+func TestDisabledAuditAllocsNothing(t *testing.T) {
+	e := statsScenario(t, 3, DefaultConfig())
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if e.cfg.Audit != nil {
+			note := e.ctx.takeAuditNote()
+			note.HitRate = e.mem.HitRate()
+			e.cfg.Audit.Decision(e.sim.Now(), 0, memory.Action{}, note)
+		}
+		if e.cfg.Audit != nil {
+			e.cfg.Audit.Assigned(0, 0)
+		}
+		if e.cfg.Audit != nil {
+			e.cfg.Audit.Feedback(0, 0, 1, 0)
+		}
+	}); allocs != 0 {
+		t.Fatalf("nil-audit guard path allocates %.1f per op, want 0", allocs)
+	}
+}

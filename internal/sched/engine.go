@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"rlsched/internal/audit"
 	"rlsched/internal/des"
 	"rlsched/internal/energy"
 	"rlsched/internal/grouping"
@@ -76,6 +77,13 @@ type Config struct {
 	// Runtime-only, like Tracer: a nil Probe costs nothing, and sampling
 	// never changes simulation outcomes — only the DES event count.
 	Probe *probe.Recorder `json:"-"`
+	// Audit, when non-nil, records scheduling decisions (state, action,
+	// explore-vs-exploit kind, candidate scores, reward feedback) into a
+	// bounded reservoir. Runtime-only, like Probe, and stricter still:
+	// the recorder draws no randomness and schedules no events, so an
+	// audited run is byte-identical to an unaudited one — Events
+	// included — and a nil Audit costs one branch per decision site.
+	Audit *audit.Recorder `json:"-"`
 	// LowMemory switches the run to streaming observation so memory stays
 	// O(active tasks + aggregate statistics) regardless of workload length:
 	// metric records are aggregated instead of retained (Collector.Tasks/
@@ -331,7 +339,7 @@ func NewFromSource(cfg Config, pl *platform.Platform, src workload.Source, polic
 		}
 		e.siteTotal = sum
 	}
-	e.ctx = &Context{engine: e, Rand: r.Split("policy"), Memory: e.mem}
+	e.ctx = &Context{engine: e, Rand: r.Split("policy"), Memory: e.mem, Audit: cfg.Audit}
 	if cfg.LowMemory {
 		e.acct = energy.NewAccountantLite(pl)
 	} else {
@@ -485,12 +493,16 @@ func (e *Engine) buildResult() Result {
 		Efficiency:      energy.ComputeEfficiency(e.pl, end, e.completed),
 		Collector:       e.col,
 		Stats: RunStats{
-			Events:         e.sim.Fired(),
-			TasksScheduled: e.statTasks,
-			GroupsPlaced:   e.statGroups,
-			Splits:         e.statSplits,
-			Backlogged:     e.statBacklogged,
-			HeapHighWater:  uint64(e.sim.HeapHighWater()),
+			Events:          e.sim.Fired(),
+			TasksScheduled:  e.statTasks,
+			GroupsPlaced:    e.statGroups,
+			Splits:          e.statSplits,
+			Backlogged:      e.statBacklogged,
+			HeapHighWater:   uint64(e.sim.HeapHighWater()),
+			MemoryLookups:   e.mem.Lookups(),
+			MemoryHits:      e.mem.Hits(),
+			MemoryEvictions: e.mem.Evictions(),
+			MemoryOccupancy: e.mem.Occupancy(),
 		},
 	}
 	if d, ok := e.cfg.Tracer.(interface{ Dropped() int }); ok {
@@ -624,6 +636,15 @@ func (e *Engine) onArrival(t *workload.Task) {
 		e.emit(trace.LevelDebug, "arrival", trace.F("task", t.ID), trace.F("agent", ag.ID), trace.F("prio", t.Priority.String()))
 	}
 	action := e.ctx.validateAction(e.policy.ChooseAction(e.ctx, ag, t))
+	if e.cfg.Audit != nil {
+		// The policy may have annotated its choice through the context;
+		// an empty note records as a plain "policy" decision, so every
+		// policy is audited uniformly.
+		note := e.ctx.takeAuditNote()
+		note.HitRate = e.mem.HitRate()
+		e.cfg.Audit.Decision(e.sim.Now(), ag.ID,
+			memory.Action{Opnum: action.Opnum, Mode: action.Mode}, note)
+	}
 	ag.Merger.SetMode(action.Mode)
 	if g := ag.Merger.Add(t, action.Opnum, e.sim.Now()); g != nil {
 		e.place(ag, g)
@@ -891,6 +912,9 @@ func (e *Engine) enqueue(ag *Agent, g *grouping.Group, node *platform.Node) {
 			trace.F("group", g.ID), trace.F("node", node.ID), trace.F("size", g.Len()), trace.F("errtg", g.ErrTG))
 	}
 	e.policy.OnAssigned(e.ctx, ag, g, node)
+	if e.cfg.Audit != nil {
+		e.cfg.Audit.Assigned(ag.ID, g.ID)
+	}
 	e.tryDispatch(node)
 }
 
@@ -1114,6 +1138,9 @@ func (e *Engine) completeGroup(g *grouping.Group, node *platform.Node) {
 	e.recordCycle(now)
 	ag.Cycles++
 	e.policy.OnGroupComplete(e.ctx, ag, g)
+	if e.cfg.Audit != nil {
+		e.cfg.Audit.Feedback(g.ID, now, float64(g.Reward()), g.ErrTG)
+	}
 	ag.LastReward = float64(g.Reward())
 	e.placeBacklog(ag)
 	e.tryDispatch(node)

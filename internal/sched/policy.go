@@ -16,6 +16,7 @@ package sched
 import (
 	"fmt"
 
+	"rlsched/internal/audit"
 	"rlsched/internal/des"
 	"rlsched/internal/grouping"
 	"rlsched/internal/memory"
@@ -147,6 +148,36 @@ type Context struct {
 	// Memory is the shared learning memory (§III.B). All policies may use
 	// it; only Adaptive-RL does.
 	Memory *memory.Shared
+	// Audit is the decision recorder when the run is audited, nil
+	// otherwise. Policies never record through it directly — they check it
+	// for nil to skip annotation work, and hand the engine a Note via
+	// SetAuditNote; the engine records the decision after validation.
+	Audit *audit.Recorder
+
+	auditNote  audit.Note
+	auditNoted bool
+}
+
+// SetAuditNote annotates the decision the policy is about to return from
+// ChooseAction. The engine consumes the note when it records the decision;
+// a choice without a note is recorded as a plain "policy" decision.
+// Calling it with Audit == nil is harmless but pointless — guard on
+// ctx.Audit before doing any work to build the note.
+func (c *Context) SetAuditNote(n audit.Note) {
+	c.auditNote = n
+	c.auditNoted = true
+}
+
+// takeAuditNote returns and clears the pending note, so a policy that
+// annotates one decision cannot leak its note onto the next.
+func (c *Context) takeAuditNote() audit.Note {
+	if !c.auditNoted {
+		return audit.Note{}
+	}
+	n := c.auditNote
+	c.auditNote = audit.Note{}
+	c.auditNoted = false
+	return n
 }
 
 // Now returns the current simulation time.

@@ -28,6 +28,15 @@ type RunStats struct {
 	// is attached. A non-zero value means the exported Gantt data is
 	// missing executions.
 	TimelineDrops uint64 `json:"timeline_drops"`
+	// MemoryLookups/MemoryHits count shared-memory similarity queries and
+	// the subset that returned a usable past experience; MemoryEvictions
+	// counts records dropped by per-agent ring overflow. MemoryOccupancy
+	// is the record count retained at the end of the run (aggregated by
+	// maximum across runs, the others by sum).
+	MemoryLookups   uint64 `json:"memory_lookups"`
+	MemoryHits      uint64 `json:"memory_hits"`
+	MemoryEvictions uint64 `json:"memory_evictions"`
+	MemoryOccupancy uint64 `json:"memory_occupancy"`
 }
 
 // Stats aggregates RunStats across runs with atomic counters, so the
@@ -38,6 +47,8 @@ type Stats struct {
 	events, tasksScheduled, groupsPlaced, splits, backlogged atomic.Uint64
 	heapHighWater                                            atomic.Uint64
 	timelineDrops                                            atomic.Uint64
+	memLookups, memHits, memEvictions                        atomic.Uint64
+	memOccupancy                                             atomic.Uint64
 	runs                                                     atomic.Uint64
 }
 
@@ -59,7 +70,16 @@ func (s *Stats) add(r RunStats) {
 	s.splits.Add(r.Splits)
 	s.backlogged.Add(r.Backlogged)
 	s.timelineDrops.Add(r.TimelineDrops)
+	s.memLookups.Add(r.MemoryLookups)
+	s.memHits.Add(r.MemoryHits)
+	s.memEvictions.Add(r.MemoryEvictions)
 	s.runs.Add(1)
+	for {
+		cur := s.memOccupancy.Load()
+		if r.MemoryOccupancy <= cur || s.memOccupancy.CompareAndSwap(cur, r.MemoryOccupancy) {
+			break
+		}
+	}
 	for {
 		cur := s.heapHighWater.Load()
 		if r.HeapHighWater <= cur || s.heapHighWater.CompareAndSwap(cur, r.HeapHighWater) {
@@ -75,13 +95,17 @@ func (s *Stats) Snapshot() RunStats {
 		return RunStats{}
 	}
 	return RunStats{
-		Events:         s.events.Load(),
-		TasksScheduled: s.tasksScheduled.Load(),
-		GroupsPlaced:   s.groupsPlaced.Load(),
-		Splits:         s.splits.Load(),
-		Backlogged:     s.backlogged.Load(),
-		HeapHighWater:  s.heapHighWater.Load(),
-		TimelineDrops:  s.timelineDrops.Load(),
+		Events:          s.events.Load(),
+		TasksScheduled:  s.tasksScheduled.Load(),
+		GroupsPlaced:    s.groupsPlaced.Load(),
+		Splits:          s.splits.Load(),
+		Backlogged:      s.backlogged.Load(),
+		HeapHighWater:   s.heapHighWater.Load(),
+		TimelineDrops:   s.timelineDrops.Load(),
+		MemoryLookups:   s.memLookups.Load(),
+		MemoryHits:      s.memHits.Load(),
+		MemoryEvictions: s.memEvictions.Load(),
+		MemoryOccupancy: s.memOccupancy.Load(),
 	}
 }
 

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rlsched/internal/audit"
+	"rlsched/internal/experiments"
+	"rlsched/internal/obs"
+	"rlsched/internal/report"
+)
+
+// decisionEntry is one simulation point's audit recorder plus its
+// identity inside the job's campaign.
+type decisionEntry struct {
+	index int
+	label string
+	rec   *audit.Recorder
+}
+
+// decisionLog collects the decision-audit recorders of one job's
+// simulation points, exactly as seriesLog collects probe recorders:
+// workers append entries concurrently through the AuditFor hook while
+// HTTP handlers snapshot, and a retry attempt resets the log so stale
+// recorders never leak into responses.
+type decisionLog struct {
+	mu      sync.Mutex
+	resets  uint64
+	entries []decisionEntry
+}
+
+// auditFor builds the experiments.Profile.AuditFor hook: every point
+// gets a fresh recorder, registered here under the point's index and
+// canonical label.
+func (l *decisionLog) auditFor(cfg audit.Config) func(int, experiments.RunSpec) *audit.Recorder {
+	return func(i int, spec experiments.RunSpec) *audit.Recorder {
+		rec := audit.NewRecorder(cfg)
+		l.mu.Lock()
+		l.entries = append(l.entries, decisionEntry{index: i, label: experiments.PointLabel(spec), rec: rec})
+		l.mu.Unlock()
+		return rec
+	}
+}
+
+// reset drops all recorded runs ahead of a retry attempt.
+func (l *decisionLog) reset() {
+	l.mu.Lock()
+	l.entries = nil
+	l.resets++
+	l.mu.Unlock()
+}
+
+// snapshot returns the recorded runs sorted by (label, index) — the
+// registration order depends on worker scheduling, the sort does not —
+// plus a change tag that moves whenever a retry, a decimation or a new
+// decision rewrote or extended what an earlier snapshot served.
+func (l *decisionLog) snapshot() ([]audit.RunLog, uint64) {
+	l.mu.Lock()
+	entries := append([]decisionEntry(nil), l.entries...)
+	tag := l.resets << 32
+	l.mu.Unlock()
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].label != entries[j].label {
+			return entries[i].label < entries[j].label
+		}
+		return entries[i].index < entries[j].index
+	})
+	runs := make([]audit.RunLog, len(entries))
+	for i, en := range entries {
+		log, epoch := en.rec.Snapshot()
+		tag = tag*31 + epoch + log.Total
+		runs[i] = audit.RunLog{Index: en.index, Label: en.label, Log: log}
+	}
+	return runs, tag
+}
+
+// DecisionsResponse is the JSON payload of GET /v1/jobs/{id}/decisions.
+type DecisionsResponse struct {
+	ID   string         `json:"id"`
+	Runs []audit.RunLog `json:"runs"`
+}
+
+// DecisionsFrame is the data payload of one "decisions" SSE event on
+// /v1/jobs/{id}/decisions/stream: always the full snapshot, because the
+// reservoir's stride-doubling decimation rewrites retained history too
+// often for deltas to pay off at decision-log sizes.
+type DecisionsFrame struct {
+	ID   string         `json:"id"`
+	Runs []audit.RunLog `json:"runs"`
+}
+
+// handleDecisions serves a job's recorded scheduling decisions. Jobs
+// submitted without a "decisions" block have no recorders — they paid no
+// audit cost — so the endpoint 404s for them, mirroring /series and
+// /trace. ?format=csv serves the CLI-identical CSV export and
+// ?format=html a self-contained policy report.
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	if j.decisions == nil {
+		writeError(w, http.StatusNotFound, "job %s was not submitted with a decisions block", j.id)
+		return
+	}
+	runs, _ := j.decisions.snapshot()
+	if wantsCSV(r) {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		// The CSV bytes come from the same writer the CLI uses for
+		// -decisions-csv, so the HTTP export is byte-identical to the CLI's.
+		_ = audit.WriteDecisionsCSV(w, runs)
+		return
+	}
+	if strings.EqualFold(r.URL.Query().Get("format"), "html") {
+		rep := report.NewPolicyReport("Policy report "+j.id, runs)
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_ = rep.Render(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, DecisionsResponse{ID: j.id, Runs: runs})
+}
+
+// handleDecisionsStream streams a job's decision log live over SSE: a
+// full snapshot first, then a fresh snapshot whenever the log changed,
+// with keepalives between. The stream ends with a terminal "done" event
+// carrying the job status, like /events and /series/stream.
+func (s *Server) handleDecisionsStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	if j.decisions == nil {
+		writeError(w, http.StatusNotFound, "job %s was not submitted with a decisions block", j.id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	s.m.sse.Add(1)
+	defer s.m.sse.Add(-1)
+	tick := j.watch()
+	defer j.unwatch(tick)
+	// Point completions wake the stream through the job's watcher
+	// machinery; the poll ticker additionally surfaces decisions recorded
+	// mid-point, which trigger no notification.
+	poll := time.NewTicker(s.seriesPoll)
+	defer poll.Stop()
+	ka := time.NewTicker(s.keepAlive)
+	defer ka.Stop()
+
+	var (
+		prevTag uint64
+		first   = true
+	)
+	send := func() {
+		runs, tag := j.decisions.snapshot()
+		if !first && tag == prevTag {
+			return
+		}
+		prevTag, first = tag, false
+		data, _ := json.Marshal(DecisionsFrame{ID: j.id, Runs: runs})
+		fmt.Fprintf(w, "event: decisions\ndata: %s\n\n", data)
+		fl.Flush()
+	}
+	send()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.doneCh:
+			send()
+			data, _ := json.Marshal(j.status())
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+			fl.Flush()
+			return
+		case <-tick:
+			send()
+		case <-poll.C:
+			send()
+		case <-ka.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+// foldDecisionMetrics adds one settled job's decision-audit tallies into
+// the server-wide Prometheus series: rl_decisions_total counters by
+// (agent, kind) and the rl_exploration_ratio gauge. Called once per job
+// at settle time, so the counters stay monotonic; the audit package has
+// already folded agents beyond its cardinality bound into the overflow
+// bucket, rendered here as agent="other".
+func (s *Server) foldDecisionMetrics(l *decisionLog) {
+	l.mu.Lock()
+	entries := append([]decisionEntry(nil), l.entries...)
+	l.mu.Unlock()
+	var explored, decided float64
+	for _, en := range entries {
+		for agent, kinds := range en.rec.AgentKindCounts() {
+			lbl := "other"
+			if agent != audit.OverflowAgent {
+				lbl = fmt.Sprintf("%d", agent)
+			}
+			for kind, n := range kinds {
+				s.reg.Counter("rl_decisions_total",
+					"Scheduling decisions recorded by the decision audit, by agent and kind.",
+					obs.L("agent", lbl), obs.L("kind", kind)).Add(n)
+			}
+		}
+		kinds := en.rec.KindCounts()
+		explored += float64(kinds[audit.KindExplore])
+		decided += float64(kinds[audit.KindExplore] + kinds[audit.KindExploit] + kinds[audit.KindFallback])
+	}
+	if decided > 0 {
+		s.reg.Gauge("rl_exploration_ratio",
+			"Exploration share of audited re-decisions, over the most recent audited job.").
+			Set(explored / decided)
+	}
+}

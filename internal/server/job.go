@@ -164,6 +164,11 @@ type job struct {
 	// Recorded series are runtime-only, like the trace ring: a restored
 	// job serves an empty set.
 	series *seriesLog
+	// decisions collects the per-point decision-audit recorders when the
+	// spec carried a "decisions" block; nil otherwise, and an unaudited
+	// job pays nothing. Runtime-only, like series: a restored job serves
+	// an empty set.
+	decisions *decisionLog
 	// spans collects the job's distributed span trace when the spec asked
 	// for one ("spans": true); nil otherwise, and an untraced job pays a
 	// nil check per hook site. spanParent is the remote parent adopted
@@ -208,6 +213,9 @@ func newJob(id string, spec config.JobSpec, total int) *job {
 	}
 	if spec.Series != nil {
 		j.series = &seriesLog{}
+	}
+	if spec.Decisions != nil {
+		j.decisions = &decisionLog{}
 	}
 	if spec.Spans {
 		j.spans = span.New(span.DeriveTraceID(id), id, spanCap)

@@ -30,6 +30,15 @@
 //	                            live series over SSE: full snapshot,
 //	                            then delta frames, reset frames when
 //	                            history is rewritten
+//	GET    /v1/jobs/{id}/decisions
+//	                            recorded scheduling decisions (404
+//	                            unless the job was submitted with a
+//	                            "decisions" block); JSON by default,
+//	                            CSV via ?format=csv, a self-contained
+//	                            HTML policy report via ?format=html
+//	GET    /v1/jobs/{id}/decisions/stream
+//	                            live decision log over SSE: a full
+//	                            snapshot whenever the log changes
 //	GET    /v1/cluster          cluster role, worker pool, cache stats
 //	POST   /v1/cluster/register add a worker to the pool at runtime
 //	GET    /healthz             liveness
@@ -258,6 +267,9 @@ type metrics struct {
 	engSplits, engBacklogged       *obs.Counter
 	engTimelineDrops               *obs.Counter
 	engHeapHW                      *obs.Gauge
+	memLookups, memHits            *obs.Counter
+	memEvictions                   *obs.Counter
+	memOccupancy                   *obs.Gauge
 }
 
 // terminalStates lists every job outcome, in rendering order.
@@ -281,6 +293,14 @@ func newMetrics(reg *obs.Registry) metrics {
 		engTimelineDrops: reg.Counter("engine_timeline_drops_total",
 			"Trace events an attached timeline tracer could not pair."),
 		engHeapHW: reg.Gauge("engine_heap_high_water", "Peak pending-event queue length over any single run."),
+		memLookups: reg.Counter("memory_lookups_total",
+			"Shared learning-memory similarity queries across all jobs."),
+		memHits: reg.Counter("memory_hits_total",
+			"Shared learning-memory queries that returned a usable experience."),
+		memEvictions: reg.Counter("memory_evictions_total",
+			"Shared learning-memory records dropped by per-agent ring overflow."),
+		memOccupancy: reg.Gauge("memory_occupancy",
+			"Peak shared learning-memory record count over any single run."),
 	}
 	for _, st := range terminalStates {
 		m.settled[st] = reg.Counter("jobs_total", "Jobs settled, by terminal state.", obs.L("state", string(st)))
@@ -299,6 +319,12 @@ func (m *metrics) foldEngine(snap sched.RunStats) {
 	m.engSplits.Add(snap.Splits)
 	m.engBacklogged.Add(snap.Backlogged)
 	m.engTimelineDrops.Add(snap.TimelineDrops)
+	m.memLookups.Add(snap.MemoryLookups)
+	m.memHits.Add(snap.MemoryHits)
+	m.memEvictions.Add(snap.MemoryEvictions)
+	if occ := float64(snap.MemoryOccupancy); occ > m.memOccupancy.Value() {
+		m.memOccupancy.Set(occ)
+	}
 	if hw := float64(snap.HeapHighWater); hw > m.engHeapHW.Value() {
 		m.engHeapHW.Set(hw)
 	}
@@ -532,6 +558,8 @@ func New(opts Options) (*Server, error) {
 	handle("GET /v1/jobs/{id}/spans", s.handleSpans)
 	handle("GET /v1/jobs/{id}/series", s.handleSeries)
 	handle("GET /v1/jobs/{id}/series/stream", s.handleSeriesStream)
+	handle("GET /v1/jobs/{id}/decisions", s.handleDecisions)
+	handle("GET /v1/jobs/{id}/decisions/stream", s.handleDecisionsStream)
 	handle("GET /v1/cluster", s.handleClusterStatus)
 	handle("POST /v1/cluster/register", s.handleClusterRegister)
 	handle("GET /healthz", s.handleHealthz)
@@ -1197,7 +1225,10 @@ func (s *Server) runJob(j *job) {
 	if j.series != nil {
 		prof.ProbeFor = j.series.probeFor(j.spec.Series.ProbeConfig())
 	}
-	if j.spans != nil && (j.ring != nil || j.series != nil) {
+	if j.decisions != nil {
+		prof.AuditFor = j.decisions.auditFor(j.spec.Decisions.AuditConfig())
+	}
+	if j.spans != nil && (j.ring != nil || j.series != nil || j.decisions != nil) {
 		// In-process instrumentation forces the campaign to run locally
 		// (RunManyCtx bypasses RunPoints), so the dispatcher never sees
 		// these points: hang each engine run directly under job.run.
@@ -1230,6 +1261,9 @@ func (s *Server) runJob(j *job) {
 		j.done.Store(0)
 		if j.series != nil && attempt > 0 {
 			j.series.reset()
+		}
+		if j.decisions != nil && attempt > 0 {
+			j.decisions.reset()
 		}
 		figures, points, full, err = s.execute(jobCtx, j, prof, attempt)
 		if err == nil || !errors.Is(err, ErrTransient) ||
@@ -1290,6 +1324,9 @@ func (s *Server) runJob(j *job) {
 	s.durN++
 	s.m.foldEngine(snap)
 	s.mu.Unlock()
+	if j.decisions != nil {
+		s.foldDecisionMetrics(j.decisions)
+	}
 	if journalIt {
 		s.journalTerminal(j, state, errMsg, termResult)
 	}
